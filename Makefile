@@ -1,0 +1,30 @@
+# C-Saw reproduction — developer entry points.
+
+PYTHON ?= python
+
+.PHONY: install test bench report examples all clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report: bench
+	$(PYTHON) -m repro.cli report > EXPERIMENT_REPORT.md
+	@echo "wrote EXPERIMENT_REPORT.md"
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script"; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+all: test bench report
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

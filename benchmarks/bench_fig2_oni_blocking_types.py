@@ -1,0 +1,51 @@
+"""Figure 2 — fractions of blocking types across ISPs in four countries.
+
+Regenerated with C-Saw's own detection pipeline over per-AS mechanism
+mixtures qualitatively matched to the ONI data (see
+``repro.workloads.oni`` for the substitution rationale).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import render_table
+from repro.workloads.oni import FIG2_CATEGORIES, OniSweep
+
+
+def run_experiment():
+    sweep = OniSweep(seed=13, domains_per_as=80)
+    measured = sweep.run()
+    return measured, sweep.ground_truth(), sweep
+
+
+def test_fig2_blocking_type_fractions(benchmark, report):
+    measured, truth, sweep = run_once(benchmark, run_experiment)
+
+    rows = []
+    for asn, mix in measured.items():
+        spec = sweep.spec_for(asn)
+        rows.append(
+            [f"AS{asn}", spec.country]
+            + [f"{mix[c]:.2f} ({truth[asn][c]:.2f})" for c in FIG2_CATEGORIES]
+        )
+    report(render_table(
+        ["AS", "country"] + [f"{c}" for c in FIG2_CATEGORIES],
+        rows,
+        title="Figure 2 — fraction of blocking types per AS, "
+        "measured (ground truth in parentheses)\n"
+        "paper: DNS and HTTP blocking are common everywhere but the "
+        "distribution varies across ISPs and countries",
+    ))
+
+    for asn, mix in measured.items():
+        assert sum(mix.values()) == pytest.approx(1.0, abs=1e-6)
+        # Measured fractions track ground truth within sampling noise.
+        for category in FIG2_CATEGORIES:
+            assert mix[category] == pytest.approx(
+                truth[asn][category], abs=0.15
+            ), (asn, category)
+    # Heterogeneity: Vietnamese ASes are No-DNS-dominated, Yemeni ASes
+    # block-page-dominated, Indonesian ASes DNS-redirect-dominated.
+    assert max(measured[18403], key=measured[18403].get) == "No DNS"
+    assert max(measured[30873], key=measured[30873].get) == "Block Page w/o Redir"
+    assert max(measured[4795], key=measured[4795].get) == "DNS Redir"

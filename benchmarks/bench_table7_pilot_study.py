@@ -1,0 +1,73 @@
+"""Table 7 — the deployment study, simulated at full scale.
+
+123 users across 16 ASes browse a 1700-site corpus for three simulated
+months; the global database accumulates their crowdsourced measurements.
+paper:  123 users · 997 blocked URLs · 420 blocked domains · 16 ASes ·
+        5 blocking types · 376 DNS / 114 TCP-timeout / 475 block-page ·
+        1787 unique updates · plus the CDN-blocking discovery (§7.4).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import render_table
+from repro.core.analytics import MeasurementAnalytics
+from repro.workloads.pilot import PilotConfig, PilotStudy
+
+PAPER_ROWS = {
+    "No. of users": 123,
+    "No. of unique blocked URLs accessed": 997,
+    "No. of unique blocked domains accessed": 420,
+    "No. of unique ASes": 16,
+    "Distinct types of blocking observed": 5,
+    "No. of URLs experiencing DNS blocking": 376,
+    "No. of URLs experiencing TCP connection timeout": 114,
+    "No. of URLs for which a block page was returned": 475,
+    "No. of unique updates": 1787,
+    "CDN domains found blocked (§7.4 finding)": 1,
+}
+
+
+def run_experiment():
+    study = PilotStudy(PilotConfig(seed=7))
+    report = study.run()
+    return report, study
+
+
+def test_table7_pilot_study(benchmark, report):
+    pilot, study = run_once(benchmark, run_experiment)
+    rows = [
+        [label, PAPER_ROWS.get(label, "-"), value]
+        for label, value in pilot.rows()
+    ]
+    # Consumer analytics (§4.2) over the collected dataset: reporter
+    # counts per AS and the §2.3 heterogeneity insight, quantified.
+    analytics = MeasurementAnalytics(study.server)
+    per_as = analytics.reporters_per_as()
+    varied = analytics.mechanism_heterogeneity()
+    extra_rows = [
+        ["ASes with >= 5 reporters (analytics)", "-",
+         sum(1 for n in per_as.values() if n >= 5)],
+        ["domains blocked *differently* across ASes (analytics)", "-",
+         len(varied)],
+    ]
+    report(render_table(
+        ["insight", "paper", "measured"],
+        rows + extra_rows,
+        title="Table 7 — insights from the (simulated) deployment study",
+    ))
+    # The §2.3 motivation, observed in crowdsourced data: plenty of
+    # domains block differently across ASes.
+    assert len(varied) >= 20
+
+    assert pilot.users == 123
+    assert pilot.unique_ases == 16
+    # Scale of discovery comparable to the paper's.
+    assert 600 <= pilot.unique_blocked_urls <= 1600
+    assert 300 <= pilot.unique_blocked_domains <= 550
+    assert pilot.distinct_block_types >= 5
+    # Mechanism ordering: block pages most common, DNS second, TCP third.
+    assert pilot.urls_blockpage > pilot.urls_dns_blocked > pilot.urls_tcp_timeout
+    # The CDN-blocking discovery (missed by prior target-list studies).
+    assert pilot.cdn_domains_detected >= 1
+    assert pilot.unique_updates >= pilot.unique_blocked_urls

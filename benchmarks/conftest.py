@@ -1,0 +1,36 @@
+"""Shared plumbing for the benchmark harness.
+
+Every bench regenerates one table or figure from the paper.  Paper-vs-
+measured tables are written to ``benchmarks/results/*.txt`` and echoed to
+the terminal (bypassing pytest capture), so ``pytest benchmarks/
+--benchmark-only`` leaves both a timing table and the reproduction
+artefacts behind.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capfd, request):
+    """Callable: report(text) — echo to the terminal and persist."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(text: str) -> None:
+        name = request.node.name.replace("/", "_")
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        with capfd.disabled():
+            print(f"\n{text}\n")
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run a whole experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Non-web filtering (§8 future work): a messaging app gets blocked.
+
+A WhatsApp-like service with three endpoints; mid-session the censor
+blacklists all of them by IP. The reachability checker classifies the
+blocking per endpoint and transparently moves the session onto a VPN
+tunnel — the standard recovery for non-web traffic.
+
+Run:  python examples/app_blocking_whatsapp.py
+"""
+
+from repro.censor.actions import IpAction, IpVerdict
+from repro.censor.policy import CensorPolicy, Matcher, Rule
+from repro.core.appcheck import AppReachabilityChecker
+from repro.simnet.app import build_app_service
+from repro.simnet.world import World
+
+
+def main() -> None:
+    world = World(seed=2017)
+    world.add_public_resolver()
+    policy = CensorPolicy(name="demo-isp")
+    isp = world.add_isp(64510, "Demo-ISP", policy=policy)
+    whatsapp = build_app_service(world, "whatsapp", n_endpoints=3)
+    vpn = world.network.add_host("vpn.nl.example", "netherlands")
+    client, access = world.add_client("mobile-user", [isp])
+    checker = AppReachabilityChecker(world, vpn_endpoint=vpn)
+
+    def session():
+        ctx = world.new_ctx(client, access, stream="app-demo")
+        conn = yield from checker.connect(ctx, whatsapp)
+        print(
+            f"t={world.env.now:7.1f}s  connected via {conn.via} "
+            f"(endpoint {conn.endpoint.name}, rtt {conn.rtt * 1000:.0f} ms)"
+        )
+
+        # The censor blacklists every endpoint IP.
+        yield world.env.timeout(3600)
+        policy.add_rule(Rule(
+            matcher=Matcher(ips=set(whatsapp.endpoint_ips)),
+            ip=IpVerdict(IpAction.DROP),
+        ))
+        print(f"t={world.env.now:7.1f}s  censor blacklists all "
+              f"{len(whatsapp.endpoints)} endpoints")
+
+        status = yield from checker.check(ctx, whatsapp)
+        print(
+            f"t={world.env.now:7.1f}s  checker: {status.status.value}, "
+            f"blocked endpoints: {len(status.blocked_endpoints)}/"
+            f"{len(whatsapp.endpoints)}"
+        )
+
+        conn = yield from checker.connect(ctx, whatsapp)
+        print(
+            f"t={world.env.now:7.1f}s  reconnected via {conn.via} "
+            f"(endpoint {conn.endpoint.name}, rtt {conn.rtt * 1000:.0f} ms)"
+        )
+
+    world.run_process(session())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""A censorship observatory over crowdsourced C-Saw data (§4.2).
+
+Runs a scaled-down pilot deployment, then plays the *consumer* of the
+global database: per-AS censorship profiles, the domains the most ASes
+agree on blocking, and — the paper's §2.3 motivation, observed in the
+crowd's own data — domains that different ASes block with *different*
+mechanisms, which is exactly the knowledge adaptive circumvention needs.
+
+Run:  python examples/censorship_observatory.py
+"""
+
+from repro.analysis import render_table
+from repro.core.analytics import MeasurementAnalytics
+from repro.workloads.pilot import PilotConfig, PilotStudy
+
+
+def main() -> None:
+    study = PilotStudy(
+        PilotConfig(
+            seed=23, n_users=30, n_sites=400, requests_per_user=50,
+            duration_days=30, n_ases=8,
+        )
+    )
+    print("running a 30-user, 30-day pilot…")
+    study.run()
+    analytics = MeasurementAnalytics(study.server)
+
+    rows = []
+    for summary in analytics.all_as_summaries():
+        rows.append([
+            f"AS{summary.asn}",
+            summary.reporters,
+            summary.blocked_urls,
+            summary.blocked_domains,
+            summary.dominant_type or "-",
+        ])
+    print(render_table(
+        ["AS", "reporters", "blocked URLs", "domains", "dominant mechanism"],
+        rows,
+        title="\nper-AS censorship profiles (crowdsourced)",
+    ))
+
+    top = analytics.top_blocked_domains(limit=8)
+    print(render_table(
+        ["domain", "blocked in # ASes"],
+        [[domain, count] for domain, count in top],
+        title="\nmost widely blocked domains",
+    ))
+
+    varied = analytics.mechanism_heterogeneity()
+    sample = sorted(varied.items())[:5]
+    print(render_table(
+        ["domain", "per-AS dominant mechanism"],
+        [
+            [domain, ", ".join(f"AS{asn}:{mech}" for asn, mech in entries)]
+            for domain, entries in sample
+        ],
+        title=f"\ndomains blocked differently across ASes "
+        f"({len(varied)} total — the §2.3 insight in the crowd's data)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

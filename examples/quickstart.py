@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Quickstart: install C-Saw behind a censoring ISP and browse.
+
+Builds a small simulated Internet with one censoring ISP (HTTP blocking
+via block-page redirects), installs a C-Saw client, and requests a
+blocked and an unblocked URL a few times.  Watch the first access detect
+the block page in-line and later accesses switch to the cheap HTTPS
+local fix.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.censor.actions import HttpAction, HttpVerdict
+from repro.censor.blockpages import DEFAULT_BLOCKPAGE_HTML
+from repro.censor.policy import CensorPolicy, Matcher, Rule
+from repro.circumvent import HttpsTransport, PublicDnsTransport, TorNetwork, TorTransport
+from repro.core import CSawClient, ServerDB
+from repro.simnet.web import WebPage
+from repro.simnet.world import World
+
+
+def build_world() -> tuple:
+    world = World(seed=2018)
+    world.add_public_resolver()
+
+    # A site the censor dislikes, and one it doesn't care about.
+    world.web.add_site("news.example.org", location="us-east")
+    world.web.add_page("http://news.example.org/", size_bytes=200_000)
+    world.web.add_site("cats.example.org", location="netherlands")
+    world.web.add_page("http://cats.example.org/", size_bytes=120_000)
+
+    # The censor's block-page server.
+    blockpage = world.web.add_site(
+        "block.isp.example",
+        location="pakistan",
+        supports_https=False,
+        catch_all=lambda path: WebPage(
+            url=f"http://block.isp.example{path}",
+            size_bytes=len(DEFAULT_BLOCKPAGE_HTML),
+            html=DEFAULT_BLOCKPAGE_HTML,
+        ),
+    )
+
+    policy = CensorPolicy(name="demo-isp")
+    policy.add_rule(
+        Rule(
+            matcher=Matcher(domains={"news.example.org"}),
+            http=HttpVerdict(
+                HttpAction.BLOCKPAGE_REDIRECT, blockpage_ip=blockpage.host.ip
+            ),
+        )
+    )
+    isp = world.add_isp(64500, "Demo-ISP", policy=policy)
+
+    tor = TorNetwork.build(world, n_relays=20)
+    return world, isp, tor
+
+
+def main() -> None:
+    world, isp, tor = build_world()
+    server = ServerDB()
+    client = CSawClient(
+        world,
+        "demo-user",
+        [isp],
+        transports=[
+            PublicDnsTransport(),
+            HttpsTransport(),
+            TorTransport(tor.client("demo-user")),
+        ],
+        server_db=server,
+    )
+
+    def session():
+        uuid = yield from client.install()
+        print(f"registered with global DB as {uuid[:12]}…\n")
+        for url in (
+            "http://news.example.org/",
+            "http://news.example.org/",
+            "http://news.example.org/",
+            "http://cats.example.org/",
+        ):
+            response = yield from client.request(url)
+            yield response.measurement_process  # join the bookkeeping
+            stages = ",".join(s.value for s in response.stages) or "-"
+            print(
+                f"{url:35s} served via {response.path:10s} "
+                f"plt={response.plt:5.2f}s status={response.status.value:12s} "
+                f"blocking=[{stages}]"
+            )
+        posted = yield from client.reporting.post_reports(client.new_ctx())
+        print(f"\nposted {posted} blocked-URL report(s) to the global DB")
+        print(f"client stats: {client.stats()}")
+
+    world.run_process(session())
+
+
+if __name__ == "__main__":
+    main()

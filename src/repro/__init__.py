@@ -1,0 +1,15 @@
+"""Reproduction of "Incentivizing Censorship Measurements via Circumvention"
+(C-Saw, SIGCOMM 2018).
+
+Package layout:
+
+- :mod:`repro.simnet` — discrete-event network simulator (the substrate).
+- :mod:`repro.censor` — censor policies and on-path middleboxes.
+- :mod:`repro.circumvent` — direct path, local fixes, Tor/Lantern/proxies.
+- :mod:`repro.core` — C-Saw itself: databases, measurement, detection,
+  adaptive circumvention.
+- :mod:`repro.workloads` — synthetic corpora, scenarios, pilot study.
+- :mod:`repro.analysis` — CDFs, summaries, table rendering.
+"""
+
+__version__ = "1.0.0"

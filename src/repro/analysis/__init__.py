@@ -1,0 +1,19 @@
+"""Analysis helpers: CDFs, percentiles, summaries, table rendering."""
+
+from .robustness import SeedSweep, across_seeds, claim_holds
+from .stats import Summary, cdf_points, mean, median, percentile, summarize
+from .tables import format_seconds, render_table
+
+__all__ = [
+    "SeedSweep",
+    "across_seeds",
+    "claim_holds",
+    "Summary",
+    "cdf_points",
+    "mean",
+    "median",
+    "percentile",
+    "summarize",
+    "format_seconds",
+    "render_table",
+]

@@ -1,0 +1,105 @@
+"""Combined experiment report from the benchmark result files.
+
+Each bench writes its paper-vs-measured table to
+``benchmarks/results/<test name>.txt``.  :func:`generate_report` stitches
+them into one markdown document (the raw material for EXPERIMENTS.md),
+ordered by the paper's artefact numbering.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["ResultFile", "collect_results", "generate_report"]
+
+# Paper-order ranking: artefacts appear in this order in the report.
+_ORDER = [
+    "table1",
+    "fig1a",
+    "fig1b",
+    "fig1c",
+    "fig2",
+    "table2",
+    "table5",
+    "blockpage",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig6a",
+    "fig6b",
+    "table6",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+    "table7",
+    "wild",
+    "fingerprint",
+    "ablation",
+    "headline",
+]
+
+
+@dataclass(frozen=True)
+class ResultFile:
+    """One bench's rendered table."""
+
+    name: str
+    title: str
+    body: str
+
+    @property
+    def rank(self) -> int:
+        lowered = self.name.lower()
+        for index, token in enumerate(_ORDER):
+            if token in lowered:
+                return index
+        return len(_ORDER)
+
+
+def collect_results(results_dir: pathlib.Path) -> List[ResultFile]:
+    """Load and order every ``*.txt`` under ``results_dir``."""
+    results = []
+    for path in sorted(results_dir.glob("*.txt")):
+        text = path.read_text().strip()
+        if not text:
+            continue
+        lines = text.splitlines()
+        results.append(
+            ResultFile(
+                name=path.stem,
+                title=lines[0],
+                body="\n".join(lines[1:]).strip(),
+            )
+        )
+    results.sort(key=lambda r: (r.rank, r.name))
+    return results
+
+
+def generate_report(
+    results_dir: pathlib.Path,
+    heading: str = "C-Saw reproduction — experiment report",
+) -> str:
+    """Markdown document covering every collected result."""
+    results = collect_results(results_dir)
+    parts = [f"# {heading}", ""]
+    if not results:
+        parts.append(
+            "_No results found. Run `pytest benchmarks/ --benchmark-only` "
+            "first._"
+        )
+        return "\n".join(parts)
+    parts.append(
+        f"{len(results)} experiment artefacts collected from "
+        f"`{results_dir}`."
+    )
+    parts.append("")
+    for result in results:
+        parts.append(f"## {result.title}")
+        parts.append("")
+        parts.append("```text")
+        parts.append(result.body)
+        parts.append("```")
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,37 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+__all__ = ["render_table", "format_seconds"]
+
+
+def format_seconds(value: float) -> str:
+    if value < 0.1:
+        return f"{value * 1000:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table (the benches print these)."""
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)

@@ -1,0 +1,34 @@
+"""Censorship substrate: blocking actions, per-ISP policies, middleboxes."""
+
+from .actions import (
+    DnsAction,
+    DnsVerdict,
+    HttpAction,
+    HttpVerdict,
+    IpAction,
+    IpVerdict,
+    TlsAction,
+    TlsVerdict,
+)
+from .fingerprint import FingerprintAnalyzer, FingerprintScore
+from .middlebox import FlowObservation, InterceptionEvent, Middlebox
+from .policy import CensorPolicy, Matcher, Rule
+
+__all__ = [
+    "DnsAction",
+    "DnsVerdict",
+    "HttpAction",
+    "HttpVerdict",
+    "IpAction",
+    "IpVerdict",
+    "TlsAction",
+    "TlsVerdict",
+    "FingerprintAnalyzer",
+    "FingerprintScore",
+    "FlowObservation",
+    "InterceptionEvent",
+    "Middlebox",
+    "CensorPolicy",
+    "Matcher",
+    "Rule",
+]

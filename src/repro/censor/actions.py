@@ -1,0 +1,124 @@
+"""Blocking-action taxonomy.
+
+The vocabulary mirrors §2.1 of the paper and the categories of Figure 2:
+
+- DNS tampering: drop the query (``No DNS``), NXDOMAIN, SERVFAIL, REFUSED,
+  or redirect to another IP (``DNS Redir`` — typically a private address or
+  a proxy that serves a block page).
+- IP blocking: silently drop packets (``No HTTP Resp`` / TCP timeouts) or
+  inject a TCP RST (``RST``).
+- HTTP blocking: drop the GET, inject a RST, redirect to a block page, or
+  splice a block page in via an iframe (``Block Page w/o Redir``).
+- TLS/SNI blocking: drop or reset handshakes whose SNI matches a blacklist.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "DnsAction",
+    "IpAction",
+    "HttpAction",
+    "TlsAction",
+    "DnsVerdict",
+    "IpVerdict",
+    "HttpVerdict",
+    "TlsVerdict",
+    "PASS_DNS",
+    "PASS_IP",
+    "PASS_HTTP",
+    "PASS_TLS",
+]
+
+
+class DnsAction(enum.Enum):
+    PASS = "pass"
+    TIMEOUT = "timeout"  # query or response silently dropped
+    NXDOMAIN = "nxdomain"
+    SERVFAIL = "servfail"
+    REFUSED = "refused"
+    REDIRECT = "redirect"  # forged A record
+
+
+class IpAction(enum.Enum):
+    PASS = "pass"
+    DROP = "drop"  # packets blackholed -> TCP connect timeout
+    RST = "rst"  # TCP reset injected
+
+
+class HttpAction(enum.Enum):
+    PASS = "pass"
+    DROP = "drop"  # GET swallowed -> HTTP timeout
+    RST = "rst"
+    BLOCKPAGE_REDIRECT = "blockpage-redirect"  # 302 to a block page
+    BLOCKPAGE_IFRAME = "blockpage-iframe"  # 200 with block page in an iframe
+
+
+class TlsAction(enum.Enum):
+    PASS = "pass"
+    DROP = "drop"  # handshake swallowed
+    RST = "rst"
+
+
+@dataclass(frozen=True)
+class DnsVerdict:
+    """DNS-stage verdict.
+
+    ``scope`` distinguishes resolver-based tampering ("resolver": the ISP's
+    own resolver lies, bypassable with a public DNS server) from on-path
+    injection ("path": any port-53 traffic through the ISP is tampered
+    with, the Hold-On case from §2.2).
+    """
+
+    action: DnsAction
+    redirect_ip: Optional[str] = None
+    scope: str = "resolver"
+    # On-path *injection*: the censor races a forged reply against the
+    # genuine one rather than suppressing it.  A naive stub accepts the
+    # first (forged) answer; the Hold-On defence (Duan et al., §2.2)
+    # waits out the race window and keeps the legitimate reply.
+    injection_race: bool = False
+
+    def __post_init__(self) -> None:
+        if self.action is DnsAction.REDIRECT and not self.redirect_ip:
+            raise ValueError("REDIRECT verdict requires redirect_ip")
+        if self.scope not in ("resolver", "path"):
+            raise ValueError(f"unknown DNS verdict scope: {self.scope!r}")
+        if self.injection_race:
+            if self.action is not DnsAction.REDIRECT:
+                raise ValueError("injection_race requires a REDIRECT verdict")
+            if self.scope != "path":
+                raise ValueError("injection races happen on-path")
+
+
+@dataclass(frozen=True)
+class IpVerdict:
+    action: IpAction
+
+
+@dataclass(frozen=True)
+class HttpVerdict:
+    action: HttpAction
+    blockpage_ip: Optional[str] = None  # server hosting the block page
+
+    def __post_init__(self) -> None:
+        needs_page = (
+            HttpAction.BLOCKPAGE_REDIRECT,
+            HttpAction.BLOCKPAGE_IFRAME,
+        )
+        if self.action in needs_page and not self.blockpage_ip:
+            raise ValueError(f"{self.action} verdict requires blockpage_ip")
+
+
+@dataclass(frozen=True)
+class TlsVerdict:
+    action: TlsAction
+
+
+PASS_DNS = DnsVerdict(DnsAction.PASS)
+PASS_IP = IpVerdict(IpAction.PASS)
+PASS_HTTP = HttpVerdict(HttpAction.PASS)
+PASS_TLS = TlsVerdict(TlsAction.PASS)

@@ -1,0 +1,157 @@
+"""Censor policies: what an ISP blocks and how.
+
+A :class:`CensorPolicy` is an ordered list of :class:`Rule` objects, first
+match wins — the structure of a commercial filtering appliance.  Each rule
+couples a *matcher* over wire-visible identifiers (query names, destination
+IPs, cleartext URLs, SNI values) with per-stage verdicts, so multi-stage
+blocking (the paper's ISP-B: DNS blocking *and* HTTP/HTTPS drops) is one
+rule carrying several verdicts.
+
+Distributed censorship (§2) is expressed by giving every AS its own policy;
+centralized censorship by sharing one policy object among ASes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Set
+
+from .actions import (
+    PASS_DNS,
+    PASS_HTTP,
+    PASS_IP,
+    PASS_TLS,
+    DnsVerdict,
+    HttpVerdict,
+    IpVerdict,
+    TlsVerdict,
+)
+
+__all__ = ["Matcher", "Rule", "CensorPolicy"]
+
+
+def _domain_matches(qname: str, suffix: str) -> bool:
+    """True when ``qname`` equals ``suffix`` or is a subdomain of it."""
+    qname = qname.lower().rstrip(".")
+    suffix = suffix.lower().rstrip(".")
+    return qname == suffix or qname.endswith("." + suffix)
+
+
+def _label_suffixes(hostname: str):
+    """All label-aligned suffixes of a hostname, longest first.
+
+    "www.foo.com" -> "www.foo.com", "foo.com", "com".  Used for O(#labels)
+    set-lookup domain matching (blocklists hold hundreds of domains, and
+    the middlebox consults them on every DNS/HTTP/TLS stage).
+    """
+    hostname = hostname.lower().rstrip(".")
+    labels = hostname.split(".")
+    for start in range(len(labels)):
+        yield ".".join(labels[start:])
+
+
+@dataclass
+class Matcher:
+    """Predicate over the identifiers visible at each interception stage.
+
+    Empty criteria never match; a matcher must set at least one of them.
+    ``keywords`` match anywhere in the cleartext URL (HTTP stage only),
+    mirroring keyword filters that the IP-as-hostname trick evades.
+    """
+
+    domains: Set[str] = field(default_factory=set)
+    keywords: Set[str] = field(default_factory=set)
+    url_prefixes: Set[str] = field(default_factory=set)
+    ips: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.domains = {d.lower() for d in self.domains}
+        self.keywords = {k.lower() for k in self.keywords}
+        if not (self.domains or self.keywords or self.url_prefixes or self.ips):
+            raise ValueError("matcher needs at least one criterion")
+
+    def matches_qname(self, qname: str) -> bool:
+        return any(suffix in self.domains for suffix in _label_suffixes(qname))
+
+    def matches_ip(self, ip: str) -> bool:
+        return ip in self.ips
+
+    def matches_sni(self, sni: Optional[str]) -> bool:
+        if sni is None:
+            return False
+        return self.matches_qname(sni) or any(
+            k in sni.lower() for k in self.keywords
+        )
+
+    def matches_url(self, host: str, path: str) -> bool:
+        url = f"{host.lower()}{path}"
+        if self.matches_qname(host):
+            return True
+        if any(k in url.lower() for k in self.keywords):
+            return True
+        return any(url.startswith(p) or f"http://{url}".startswith(p)
+                   for p in self.url_prefixes)
+
+
+@dataclass
+class Rule:
+    """Matcher plus the verdicts applied at each stage it intercepts."""
+
+    matcher: Matcher
+    dns: DnsVerdict = PASS_DNS
+    ip: IpVerdict = PASS_IP
+    http: HttpVerdict = PASS_HTTP
+    tls: TlsVerdict = PASS_TLS
+    label: str = ""
+
+
+class CensorPolicy:
+    """Ordered rule set consulted by the protocol layers.
+
+    The methods return the *verdict* for a given wire observation; PASS
+    verdicts mean "not this rule's business".  First matching rule wins.
+    """
+
+    def __init__(self, rules: Optional[Iterable[Rule]] = None, name: str = ""):
+        self.name = name
+        self.rules: List[Rule] = list(rules or [])
+
+    def add_rule(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    def remove_rules(self, label: str) -> int:
+        """Drop all rules carrying ``label``; returns how many were removed."""
+        before = len(self.rules)
+        self.rules = [r for r in self.rules if r.label != label]
+        return before - len(self.rules)
+
+    # -- stage hooks --------------------------------------------------------
+
+    def on_dns_query(self, qname: str) -> DnsVerdict:
+        for rule in self.rules:
+            if rule.dns is not PASS_DNS and rule.matcher.matches_qname(qname):
+                return rule.dns
+        return PASS_DNS
+
+    def on_packet(self, dst_ip: str) -> IpVerdict:
+        for rule in self.rules:
+            if rule.ip is not PASS_IP and rule.matcher.matches_ip(dst_ip):
+                return rule.ip
+        return PASS_IP
+
+    def on_http_request(self, host: str, path: str) -> HttpVerdict:
+        for rule in self.rules:
+            if rule.http is not PASS_HTTP and rule.matcher.matches_url(host, path):
+                return rule.http
+        return PASS_HTTP
+
+    def on_tls_client_hello(self, sni: Optional[str], dst_ip: str) -> TlsVerdict:
+        for rule in self.rules:
+            if rule.tls is PASS_TLS:
+                continue
+            if rule.matcher.matches_sni(sni) or rule.matcher.matches_ip(dst_ip):
+                return rule.tls
+        return PASS_TLS
+
+    def __repr__(self) -> str:
+        return f"CensorPolicy({self.name!r}, {len(self.rules)} rules)"

@@ -1,0 +1,211 @@
+"""Transport interface shared by the direct path and every circumvention
+method, plus the direct fetch pipeline they compose.
+
+A transport's ``fetch`` is a simulation process that *never raises for
+network reasons*: all failures are folded into the returned
+:class:`FetchResult` together with the protocol stage they occurred at —
+exactly the observations C-Saw's detection flowchart (Figure 4) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from ..simnet.dns import DnsError, Resolver, resolve
+from ..simnet.flow import FlowContext
+from ..simnet.http import HttpResponse, HttpTimeout, http_exchange
+from ..simnet.tcp import ConnectionReset, TcpError, tcp_connect
+from ..simnet.tls import TlsError, tls_handshake
+from ..simnet.world import World
+from ..urlkit import parse_url
+
+__all__ = [
+    "FetchResult",
+    "Transport",
+    "classify_failure",
+    "fetch_pipeline",
+]
+
+
+def classify_failure(error: Exception) -> str:
+    """Protocol stage a failure belongs to: dns | tcp | tls | http | other."""
+    if isinstance(error, DnsError):
+        return "dns"
+    if isinstance(error, TcpError):
+        return "tcp"
+    if isinstance(error, TlsError):
+        return "tls"
+    if isinstance(error, HttpTimeout):
+        return "http"
+    return "other"
+
+
+@dataclass
+class FetchResult:
+    """Outcome of one URL fetch attempt through one transport."""
+
+    url: str
+    transport: str
+    started: float
+    finished: float
+    response: Optional[HttpResponse] = None
+    error: Optional[Exception] = None
+    failure_stage: Optional[str] = None
+    redirects: List[HttpResponse] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished - self.started
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.error is None
+            and self.response is not None
+            and self.response.status < 400
+        )
+
+    @property
+    def failed(self) -> bool:
+        return not self.ok
+
+    def __repr__(self) -> str:
+        status = self.response.status if self.response else None
+        return (
+            f"FetchResult({self.url!r}, via={self.transport}, ok={self.ok}, "
+            f"status={status}, stage={self.failure_stage}, "
+            f"elapsed={self.elapsed:.3f}s)"
+        )
+
+
+class Transport:
+    """One way of fetching a URL (direct path, local-fix, or relay)."""
+
+    #: registry identifier; subclasses must override
+    name: str = "abstract"
+    #: local fixes are preferred over relay-based methods (§4.3.2)
+    is_local_fix: bool = False
+    #: whether the method hides the user from the censor (Tor, VPN)
+    provides_anonymity: bool = False
+    #: relay methods add a relay between client and origin
+    uses_relay: bool = False
+
+    def available_for(self, world: World, url: str) -> bool:
+        """Whether this method can even be attempted for ``url``."""
+        return True
+
+    def fetch(
+        self, world: World, ctx: FlowContext, url: str
+    ) -> Generator:
+        """Process returning a :class:`FetchResult`.  Must not raise for
+        network failures (fold them into the result)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Transport {self.name}>"
+
+
+def fetch_pipeline(
+    world: World,
+    ctx: FlowContext,
+    url: str,
+    *,
+    transport_name: str,
+    resolver: Optional[Resolver] = None,
+    dst_ip: Optional[str] = None,
+    sni: Optional[str] = None,
+    host_header: Optional[str] = None,
+    max_redirects: int = 3,
+    dns_hold_on: bool = False,
+) -> Generator:
+    """The canonical client-side fetch: DNS → TCP → (TLS) → HTTP.
+
+    Keyword overrides implement the local fixes: ``resolver`` switches to a
+    public DNS server, ``dst_ip`` skips resolution entirely, ``sni`` and
+    ``host_header`` decouple the wire-visible names from the real
+    destination (domain fronting, IP-as-hostname).
+
+    Returns a :class:`FetchResult`; never raises for network failures.
+    """
+    env = world.env
+    started = env.now
+    parsed = parse_url(url)
+    redirects: List[HttpResponse] = []
+
+    def failed(error: Exception) -> FetchResult:
+        return FetchResult(
+            url=url,
+            transport=transport_name,
+            started=started,
+            finished=env.now,
+            error=error,
+            failure_stage=classify_failure(error),
+            redirects=redirects,
+        )
+
+    current = parsed
+    current_sni = sni
+    current_host_header = host_header
+    current_dst = dst_ip
+    for _hop in range(max_redirects + 1):
+        # --- DNS -----------------------------------------------------------
+        if current_dst is not None:
+            ip = current_dst
+        else:
+            use_resolver = resolver or world.isp_resolver(ctx)
+            try:
+                ips = yield from resolve(
+                    env, world.network, ctx, current.host,
+                    use_resolver, world.dns_config, hold_on=dns_hold_on,
+                )
+            except DnsError as error:
+                return failed(error)
+            ip = ips[0]
+
+        # --- TCP -----------------------------------------------------------
+        try:
+            conn = yield from tcp_connect(
+                env, world.network, ctx, ip, current.port, world.tcp_config
+            )
+        except TcpError as error:
+            return failed(error)
+
+        # --- TLS -----------------------------------------------------------
+        if current.scheme == "https":
+            announce = current_sni if current_sni is not None else current.host
+            try:
+                yield from tls_handshake(env, ctx, conn, announce, world.tls_config)
+            except TlsError as error:
+                return failed(error)
+
+        # --- HTTP ----------------------------------------------------------
+        header_host = current_host_header or current.host
+        try:
+            response = yield from http_exchange(
+                env, world.network, world.web, ctx, conn,
+                current.scheme, header_host, current.path,
+                world.http_config,
+            )
+        except (HttpTimeout, ConnectionReset) as error:
+            return failed(error)
+
+        if response.is_redirect and response.location:
+            redirects.append(response)
+            current = parse_url(response.location)
+            # Redirect targets are fetched with their own names.
+            current_sni = None
+            current_host_header = None
+            current_dst = None
+            continue
+
+        return FetchResult(
+            url=url,
+            transport=transport_name,
+            started=started,
+            finished=env.now,
+            response=response,
+            redirects=redirects,
+        )
+
+    return failed(HttpTimeout(url, "(redirect loop)"))

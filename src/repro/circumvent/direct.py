@@ -1,0 +1,29 @@
+"""The direct path: no circumvention, fully exposed to the censor.
+
+Also the measurement probe C-Saw sends alongside circumvented requests —
+the direct path is where blocking symptoms are observed.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..simnet.flow import FlowContext
+from ..simnet.world import World
+from .base import Transport, fetch_pipeline
+
+__all__ = ["DirectTransport"]
+
+
+class DirectTransport(Transport):
+    """Plain fetch via the client's ISP resolver and the real endpoint."""
+
+    name = "direct"
+    is_local_fix = False  # not a fix at all; baseline path
+    provides_anonymity = False
+
+    def fetch(self, world: World, ctx: FlowContext, url: str) -> Generator:
+        result = yield from fetch_pipeline(
+            world, ctx, url, transport_name=self.name
+        )
+        return result

@@ -1,0 +1,35 @@
+"""Hold-On local-fix against on-path DNS injection (§2.2, Duan et al.).
+
+Public DNS servers defeat *resolver-based* tampering but not on-path
+*injection*, where the censor races a forged reply against the genuine
+one.  Hold-On keeps the query window open past the expected RTT and keeps
+the later, legitimate reply — paying a small latency tax on every
+resolution, which is why C-Saw only reaches for it when the observed
+blocking is DNS-stage and public DNS alone did not fix it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..simnet.flow import FlowContext
+from ..simnet.world import World
+from .base import Transport, fetch_pipeline
+
+__all__ = ["HoldOnTransport"]
+
+
+class HoldOnTransport(Transport):
+    name = "hold-on"
+    is_local_fix = True
+
+    def fetch(self, world: World, ctx: FlowContext, url: str) -> Generator:
+        result = yield from fetch_pipeline(
+            world,
+            ctx,
+            url,
+            transport_name=self.name,
+            resolver=world.public_resolver,  # None -> the ISP resolver
+            dns_hold_on=True,
+        )
+        return result

@@ -1,0 +1,34 @@
+"""HTTP→HTTPS local-fix (§4.3.2).
+
+When the censor only filters cleartext HTTP (the paper's ISP-A), simply
+requesting the same resource over TLS hides the URL.  The SNI still leaks
+the hostname, so SNI-filtering censors (ISP-B) defeat this fix — which is
+when domain fronting takes over.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..simnet.flow import FlowContext
+from ..simnet.world import World
+from ..urlkit import parse_url
+from .base import Transport, fetch_pipeline
+
+__all__ = ["HttpsTransport"]
+
+
+class HttpsTransport(Transport):
+    name = "https"
+    is_local_fix = True
+
+    def available_for(self, world: World, url: str) -> bool:
+        site = world.web.site_for(parse_url(url).host)
+        return site is not None and site.supports_https
+
+    def fetch(self, world: World, ctx: FlowContext, url: str) -> Generator:
+        https_url = parse_url(url).with_scheme("https").url
+        result = yield from fetch_pipeline(
+            world, ctx, https_url, transport_name=self.name
+        )
+        return result

@@ -1,0 +1,37 @@
+"""Public/global DNS local-fix (§2.2, §4.3.2).
+
+Defeats resolver-based DNS tampering by asking a public resolver instead of
+the ISP's.  Useless against on-path DNS injection (``scope="path"``
+verdicts) and against non-DNS blocking stages — C-Saw's detector knows the
+difference and picks accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..simnet.flow import FlowContext
+from ..simnet.world import World
+from .base import Transport, fetch_pipeline
+
+__all__ = ["PublicDnsTransport"]
+
+
+class PublicDnsTransport(Transport):
+    name = "public-dns"
+    is_local_fix = True
+
+    def available_for(self, world: World, url: str) -> bool:
+        return world.public_resolver is not None
+
+    def fetch(self, world: World, ctx: FlowContext, url: str) -> Generator:
+        if world.public_resolver is None:
+            raise RuntimeError("no public resolver registered in this world")
+        result = yield from fetch_pipeline(
+            world,
+            ctx,
+            url,
+            transport_name=self.name,
+            resolver=world.public_resolver,
+        )
+        return result

@@ -1,0 +1,43 @@
+"""VPN circumvention (§2.2).
+
+A VPN is a single-relay full tunnel: the censor sees only the encrypted
+flow to the VPN endpoint.  Censors respond by blacklisting VPN server IPs
+or ports — modeled as ordinary IP-stage rules against the endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..simnet.flow import FlowContext
+from ..simnet.topology import Host
+from ..simnet.world import World
+from .base import Transport
+from .relay import relay_fetch
+
+__all__ = ["VpnTransport"]
+
+
+class VpnTransport(Transport):
+    """Tunnel everything through one VPN endpoint."""
+
+    provides_anonymity = True  # hides the destination from the local censor
+    uses_relay = True
+
+    def __init__(self, endpoint: Host, bandwidth_cap_bps: Optional[float] = None):
+        self.endpoint = endpoint
+        self.bandwidth_cap_bps = bandwidth_cap_bps
+        self.name = f"vpn:{endpoint.name}"
+
+    def fetch(self, world: World, ctx: FlowContext, url: str) -> Generator:
+        result = yield from relay_fetch(
+            world,
+            ctx,
+            url,
+            self.endpoint,
+            transport_name=self.name,
+            # The VPN handshake is chunkier than a TLS CONNECT.
+            setup_overhead_rtts=1.5,
+            bandwidth_cap_bps=self.bandwidth_cap_bps,
+        )
+        return result

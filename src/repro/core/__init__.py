@@ -1,0 +1,58 @@
+"""C-Saw core: the paper's contribution, assembled from its modules."""
+
+from .aggregation import UrlPrefixIndex, storage_key
+from .analytics import AsSummary, MeasurementAnalytics
+from .appcheck import AppReachabilityChecker, AppStatus
+from .blockpage import (
+    BlockpageDetector,
+    phase1_looks_like_blockpage,
+    phase2_is_blockpage,
+)
+from .circumvention import CircumventionModule, fix_defeats
+from .client import CSawClient
+from .config import CSawConfig
+from .detection import DetectionOutcome, measure_direct_path
+from .globaldb import GlobalEntry, RegistrationError, ReportItem, ServerDB
+from .localdb import LocalDatabase
+from .measurement import MeasurementModule, ServedResponse
+from .multihoming import MultihomingManager
+from .records import BlockStatus, BlockType, URLRecord
+from .reporting import GlobalView, ReportingService, ensure_collector
+from .reputation import ClientProfile, ReputationAnalyzer
+from .voting import VoteStats, VotingLedger
+
+__all__ = [
+    "UrlPrefixIndex",
+    "storage_key",
+    "AsSummary",
+    "MeasurementAnalytics",
+    "AppReachabilityChecker",
+    "AppStatus",
+    "BlockpageDetector",
+    "phase1_looks_like_blockpage",
+    "phase2_is_blockpage",
+    "CircumventionModule",
+    "fix_defeats",
+    "CSawClient",
+    "CSawConfig",
+    "DetectionOutcome",
+    "measure_direct_path",
+    "GlobalEntry",
+    "RegistrationError",
+    "ReportItem",
+    "ServerDB",
+    "LocalDatabase",
+    "MeasurementModule",
+    "ServedResponse",
+    "MultihomingManager",
+    "BlockStatus",
+    "BlockType",
+    "URLRecord",
+    "GlobalView",
+    "ReportingService",
+    "ensure_collector",
+    "ClientProfile",
+    "ReputationAnalyzer",
+    "VoteStats",
+    "VotingLedger",
+]

@@ -1,0 +1,136 @@
+"""Consumer-side analytics over the global database (§4.2).
+
+The paper: "The UUID also allows consumers of measurements to perform
+user-centric analytics (e.g., number of users reporting measurements
+from a certain AS)."  This module is that consumer: aggregate views over
+the global database that researchers, rights groups, or the C-Saw
+operators themselves would pull — reporter counts per AS, blocking-type
+mixes, top blocked domains, detection timelines, and stale entries that
+suggest Blocked→Unblocked churn.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..urlkit import parse_url, registered_domain
+from .globaldb import GlobalEntry, ServerDB
+
+__all__ = ["AsSummary", "MeasurementAnalytics"]
+
+
+@dataclass(frozen=True)
+class AsSummary:
+    """One AS's censorship profile, as the crowd reported it."""
+
+    asn: int
+    blocked_urls: int
+    blocked_domains: int
+    reporters: int
+    blocking_types: Tuple[Tuple[str, int], ...]  # (type, url count), sorted
+
+    @property
+    def dominant_type(self) -> Optional[str]:
+        return self.blocking_types[0][0] if self.blocking_types else None
+
+
+class MeasurementAnalytics:
+    """Aggregations over a :class:`ServerDB`'s entries and votes."""
+
+    def __init__(self, server: ServerDB):
+        self.server = server
+
+    # -- per-AS views ---------------------------------------------------------
+
+    def reporters_per_as(self) -> Dict[int, int]:
+        """Distinct reporting identities per AS (the paper's example)."""
+        reporters: Dict[int, set] = defaultdict(set)
+        for entry in self.server.all_entries():
+            reporters[entry.asn] |= self.server.voting.reporters_for(
+                entry.url, entry.asn
+            )
+        return {asn: len(ids) for asn, ids in reporters.items()}
+
+    def as_summary(self, asn: int) -> AsSummary:
+        entries = [e for e in self.server.all_entries() if e.asn == asn]
+        domains = {registered_domain(parse_url(e.url).host) for e in entries}
+        type_counts: Counter = Counter()
+        reporters = set()
+        for entry in entries:
+            for stage in entry.stages:
+                type_counts[stage.value] += 1
+            reporters |= self.server.voting.reporters_for(entry.url, entry.asn)
+        return AsSummary(
+            asn=asn,
+            blocked_urls=len(entries),
+            blocked_domains=len(domains),
+            reporters=len(reporters),
+            blocking_types=tuple(type_counts.most_common()),
+        )
+
+    def all_as_summaries(self) -> List[AsSummary]:
+        asns = sorted({e.asn for e in self.server.all_entries()})
+        return [self.as_summary(asn) for asn in asns]
+
+    # -- cross-AS views ----------------------------------------------------------
+
+    def top_blocked_domains(self, limit: int = 10) -> List[Tuple[str, int]]:
+        """Domains blocked in the most ASes (censorship consensus)."""
+        per_domain: Dict[str, set] = defaultdict(set)
+        for entry in self.server.all_entries():
+            domain = registered_domain(parse_url(entry.url).host)
+            per_domain[domain].add(entry.asn)
+        ranked = sorted(
+            ((domain, len(asns)) for domain, asns in per_domain.items()),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return ranked[:limit]
+
+    def mechanism_heterogeneity(self) -> Dict[str, List[Tuple[int, str]]]:
+        """Domains blocked *differently* across ASes (§2.3's insight).
+
+        Returns {domain: [(asn, dominant mechanism), ...]} restricted to
+        domains whose dominant mechanism differs between at least two
+        ASes — the cases where knowing the per-AS mechanism changes the
+        best circumvention choice.
+        """
+        per_domain: Dict[str, Dict[int, Counter]] = defaultdict(
+            lambda: defaultdict(Counter)
+        )
+        for entry in self.server.all_entries():
+            domain = registered_domain(parse_url(entry.url).host)
+            for stage in entry.stages:
+                per_domain[domain][entry.asn][stage.stage] += 1
+        varied = {}
+        for domain, by_asn in per_domain.items():
+            dominants = [
+                (asn, counts.most_common(1)[0][0])
+                for asn, counts in sorted(by_asn.items())
+                if counts
+            ]
+            if len({mech for _asn, mech in dominants}) > 1:
+                varied[domain] = dominants
+        return varied
+
+    def detection_timeline(
+        self, bucket_seconds: float = 3600.0
+    ) -> List[Tuple[float, int]]:
+        """Histogram of first-detection times (blocking-wave visibility)."""
+        buckets: Counter = Counter()
+        for entry in self.server.all_entries():
+            buckets[int(entry.first_measured_at // bucket_seconds)] += 1
+        return [
+            (bucket * bucket_seconds, count)
+            for bucket, count in sorted(buckets.items())
+        ]
+
+    def stale_entries(self, now: float, older_than: float) -> List[GlobalEntry]:
+        """Entries nobody has re-confirmed lately — whitelisting suspects
+        (Blocked→Unblocked churn that deserves a re-measure)."""
+        return [
+            e
+            for e in self.server.all_entries()
+            if now - e.measured_at > older_than
+        ]

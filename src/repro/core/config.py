@@ -1,0 +1,74 @@
+"""C-Saw client configuration (§4, §7 knobs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CSawConfig"]
+
+
+@dataclass
+class CSawConfig:
+    """All tunables of one C-Saw client.
+
+    Defaults follow the paper's recommendations: p ≤ 0.25 (§7.1), two
+    redundant requests (Figure 6a), random exploration every n = 5-th
+    access (§4.3.2), parallel redundancy (Figure 5a).
+    """
+
+    # Probability of re-measuring the direct path for a URL the global_DB
+    # says is blocked (resilience to false reports vs. overhead, Table 6).
+    probe_probability: float = 0.1
+    # local_DB record TTL; expiry re-measures the URL (Scenario A churn).
+    record_ttl: float = 24 * 3600.0
+    # Every n-th access to a blocked URL uses a random circumvention
+    # approach so improving approaches get rediscovered.
+    explore_every_n: int = 5
+    # "parallel" duplicates direct + circumvention requests; "serial"
+    # waits for direct-path detection before circumventing (Figure 5a).
+    redundancy_mode: str = "parallel"
+    # Delay before launching the redundant request; if the direct path
+    # answers within the delay the duplicate is skipped (Figure 5b/c).
+    redundant_delay: float = 0.0
+    # Total copies for not-measured URLs: 1 disables redundancy, 2 is the
+    # paper's sweet spot, 3 hurts the tail (Figure 6a).
+    max_redundant_requests: int = 2
+    # Anonymity preference: restrict circumvention to anonymous methods.
+    prefer_anonymity: bool = False
+    # URL aggregation in the local_DB (Figure 6b ablation).
+    aggregation_enabled: bool = True
+    # Background cadence (seconds) for report upload / blocked-list pull.
+    report_interval: float = 600.0
+    download_interval: float = 600.0
+    # Phase-2 size-ratio threshold for block-page confirmation.
+    blockpage_ratio_threshold: float = 0.30
+    # Moving-average weight for per-approach PLT tracking.
+    ewma_alpha: float = 0.3
+
+    @classmethod
+    def developing_region(cls, **overrides) -> "CSawConfig":
+        """Preset for data-constrained users (§8: "the value of p can be
+        lowered in developing regions albeit at the cost of reduced
+        resilience to false reports").  Lower probe probability, longer
+        record TTLs (fewer re-measurements), staggered duplicates so the
+        common case transfers one copy only.
+        """
+        defaults = dict(
+            probe_probability=0.02,
+            record_ttl=7 * 24 * 3600.0,
+            redundant_delay=2.0,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probe_probability <= 1.0:
+            raise ValueError(f"p must be in [0,1]: {self.probe_probability!r}")
+        if self.redundancy_mode not in ("parallel", "serial"):
+            raise ValueError(f"unknown redundancy mode: {self.redundancy_mode!r}")
+        if self.max_redundant_requests < 1:
+            raise ValueError("need at least one request copy")
+        if self.explore_every_n < 2:
+            raise ValueError("explore_every_n must be >= 2")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0,1]: {self.ewma_alpha!r}")

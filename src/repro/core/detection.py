@@ -1,0 +1,298 @@
+"""In-line blocking detection on the direct path (Figure 4).
+
+The flowchart, as implemented:
+
+1. Resolve via the local (ISP) resolver.  On failure or a suspicious
+   answer, re-resolve via the global/public DNS (GDNS):
+   - local fails, GDNS answers → DNS blocking (continue with the GDNS
+     address to expose multi-stage blocking);
+   - both fail identically → the site genuinely does not resolve: *no
+     blocking* (a network problem is not censorship).
+2. TCP connect: timeout → IP blocking (blackhole), reset → IP blocking
+   (RST injection).
+3. HTTPS only: TLS handshake: timeout/reset → SNI blocking.
+4. Send the GET: timeout → HTTP blocking (dropped GET), reset → HTTP
+   blocking (RST).
+5. Got a page → phase-1 block-page heuristic.  A suspected block page is
+   *tentatively* blocked pending phase 2 (the measurement module owns the
+   circumvented response needed for the size comparison).
+
+A DNS answer pointing into private address space is treated as a DNS
+redirect; if the page it serves is a block page (or nothing listens), DNS
+blocking is confirmed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from ..simnet.dns import (
+    DnsError,
+    DnsTimeout,
+    NxDomain,
+    Refused,
+    ServFail,
+    resolve,
+)
+from ..simnet.flow import FlowContext
+from ..simnet.http import HttpResponse, HttpTimeout, http_exchange
+from ..simnet.ipaddr import is_private
+from ..simnet.tcp import ConnectionReset, ConnectTimeout, TcpError, tcp_connect
+from ..simnet.tls import TlsReset, TlsTimeout, tls_handshake
+from ..simnet.world import World
+from ..urlkit import parse_url
+from .blockpage import BlockpageDetector
+from .records import BlockStatus, BlockType
+
+__all__ = ["DetectionOutcome", "measure_direct_path"]
+
+_DNS_ERROR_TYPES = {
+    DnsTimeout: BlockType.DNS_TIMEOUT,
+    NxDomain: BlockType.DNS_NXDOMAIN,
+    ServFail: BlockType.DNS_SERVFAIL,
+    Refused: BlockType.DNS_REFUSED,
+}
+
+
+@dataclass
+class DetectionOutcome:
+    """What the direct-path measurement concluded."""
+
+    url: str
+    status: BlockStatus
+    stages: List[BlockType] = field(default_factory=list)
+    response: Optional[HttpResponse] = None
+    error: Optional[Exception] = None
+    started: float = 0.0
+    finished: float = 0.0
+    detection_time: float = 0.0  # time until the classification was made
+    suspected_blockpage: bool = False  # phase-1 hit awaiting phase-2 confirm
+
+    @property
+    def blocked(self) -> bool:
+        return self.status is BlockStatus.BLOCKED
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished - self.started
+
+    def __repr__(self) -> str:
+        kinds = ",".join(s.value for s in self.stages) or "-"
+        return (
+            f"DetectionOutcome({self.url!r}, {self.status.value}, [{kinds}], "
+            f"detect={self.detection_time:.2f}s)"
+        )
+
+
+def _dns_block_type(error: DnsError) -> BlockType:
+    for cls, block_type in _DNS_ERROR_TYPES.items():
+        if isinstance(error, cls):
+            return block_type
+    return BlockType.DNS_TIMEOUT
+
+
+def measure_direct_path(
+    world: World,
+    ctx: FlowContext,
+    url: str,
+    detector: Optional[BlockpageDetector] = None,
+    max_redirects: int = 3,
+    first_byte=None,
+) -> Generator:
+    """Process implementing the Figure-4 flowchart; returns DetectionOutcome.
+
+    ``first_byte`` (optional Event) fires when the direct path starts
+    answering — used by the redundancy stagger to skip the duplicate.
+    """
+    env = world.env
+    detector = detector or BlockpageDetector()
+    started = env.now
+    parsed = parse_url(url)
+    stages: List[BlockType] = []
+    # Detection time = the moment the *last* piece of blocking evidence
+    # appeared (Table 5 semantics): a DNS-only block is "detected" when the
+    # GDNS answer contradicts the local resolver, even though the flow then
+    # continues to fetch the page for the user.
+    evidence_at: List[float] = []
+
+    def note_evidence(block_type: BlockType) -> None:
+        stages.append(block_type)
+        evidence_at.append(env.now)
+
+    def outcome(
+        status: BlockStatus,
+        *,
+        response: Optional[HttpResponse] = None,
+        error: Optional[Exception] = None,
+        detection_at: Optional[float] = None,
+        suspected: bool = False,
+    ) -> DetectionOutcome:
+        if detection_at is not None:
+            decided = detection_at
+        elif evidence_at:
+            decided = evidence_at[-1]
+        else:
+            decided = env.now
+        return DetectionOutcome(
+            url=url,
+            status=status,
+            stages=list(stages),
+            response=response,
+            error=error,
+            started=started,
+            finished=env.now,
+            detection_time=decided - started,
+            suspected_blockpage=suspected,
+        )
+
+    # ---- stage 1: DNS -------------------------------------------------------
+    dns_suspect: Optional[BlockType] = None
+    ip: Optional[str] = None
+    try:
+        ips = yield from resolve(
+            env, world.network, ctx, parsed.host,
+            world.isp_resolver(ctx), world.dns_config,
+        )
+        ip = ips[0]
+    except DnsError as error:
+        local_error = error
+        if world.public_resolver is None:
+            # No GDNS available: treat the local failure as blocking
+            # evidence (cannot distinguish a dead domain).
+            note_evidence(_dns_block_type(local_error))
+            return outcome(BlockStatus.BLOCKED, error=local_error)
+        try:
+            ips = yield from resolve(
+                env, world.network, ctx, parsed.host,
+                world.public_resolver, world.dns_config,
+            )
+        except DnsError as gdns_error:
+            # Both resolvers fail: the domain genuinely does not resolve.
+            return outcome(BlockStatus.NOT_BLOCKED, error=gdns_error)
+        # GDNS answered where the local resolver failed: DNS blocking.
+        note_evidence(_dns_block_type(local_error))
+        dns_suspect = stages[-1]
+        ip = ips[0]
+
+    # A resolution into private space is a DNS redirect to a local box.
+    if dns_suspect is None and is_private(ip):
+        note_evidence(BlockType.DNS_REDIRECT)
+        dns_suspect = BlockType.DNS_REDIRECT
+        if world.public_resolver is not None:
+            try:
+                ips = yield from resolve(
+                    env, world.network, ctx, parsed.host,
+                    world.public_resolver, world.dns_config,
+                )
+                ip = ips[0]  # continue with the honest address
+            except DnsError:
+                pass  # fall through with the redirect address
+
+    # ---- stage 2: TCP -------------------------------------------------------
+    try:
+        conn = yield from tcp_connect(
+            env, world.network, ctx, ip, parsed.port, world.tcp_config
+        )
+    except (ConnectTimeout, ConnectionReset) as error:
+        if dns_suspect is BlockType.DNS_REDIRECT and is_private(ip):
+            # We are still holding the forged address (on-path injection
+            # defeats the GDNS retry too): the dead connect is a symptom
+            # of the DNS redirect, not separate IP blocking.
+            return outcome(BlockStatus.BLOCKED, error=error)
+        note_evidence(
+            BlockType.IP_TIMEOUT
+            if isinstance(error, ConnectTimeout)
+            else BlockType.IP_RST
+        )
+        return outcome(BlockStatus.BLOCKED, error=error)
+
+    # ---- stage 3: TLS (https only) ------------------------------------------
+    if parsed.scheme == "https":
+        try:
+            yield from tls_handshake(env, ctx, conn, parsed.host, world.tls_config)
+        except TlsTimeout as error:
+            note_evidence(BlockType.SNI_TIMEOUT)
+            return outcome(BlockStatus.BLOCKED, error=error)
+        except TlsReset as error:
+            note_evidence(BlockType.SNI_RST)
+            return outcome(BlockStatus.BLOCKED, error=error)
+
+    # ---- stage 4: HTTP ------------------------------------------------------
+    response: Optional[HttpResponse] = None
+    current = parsed
+    for _hop in range(max_redirects + 1):
+        try:
+            response = yield from http_exchange(
+                env, world.network, world.web, ctx, conn,
+                current.scheme, current.host, current.path, world.http_config,
+                first_byte=first_byte,
+            )
+        except HttpTimeout as error:
+            note_evidence(BlockType.HTTP_TIMEOUT)
+            return outcome(BlockStatus.BLOCKED, error=error)
+        except ConnectionReset as error:
+            note_evidence(BlockType.HTTP_RST)
+            return outcome(BlockStatus.BLOCKED, error=error)
+        if response.is_redirect and response.location:
+            current = parse_url(response.location)
+            if _looks_like_ip(current.host):
+                redirect_ip = current.host
+            else:
+                try:
+                    redirect_ip = yield from _redirect_resolve(
+                        world, ctx, current.host
+                    )
+                except DnsError as error:
+                    note_evidence(_dns_block_type(error))
+                    return outcome(BlockStatus.BLOCKED, error=error)
+            try:
+                conn = yield from tcp_connect(
+                    env, world.network, ctx, redirect_ip, current.port,
+                    world.tcp_config,
+                )
+            except TcpError as error:
+                note_evidence(BlockType.IP_TIMEOUT)
+                return outcome(BlockStatus.BLOCKED, error=error)
+            continue
+        break
+
+    # ---- stage 5: block-page detection (phase 1) -----------------------------
+    assert response is not None
+    if response.status == 451:
+        # The *server* withheld the content from this region (§8): an
+        # explicit signal, no phase-2 comparison needed.  Circumventable
+        # only through a relay whose vantage lies outside the region.
+        note_evidence(BlockType.SERVER_FILTERING)
+        return outcome(BlockStatus.BLOCKED, response=response)
+    if detector.phase1(response):
+        note_evidence(BlockType.BLOCK_PAGE)
+        return outcome(
+            BlockStatus.BLOCKED, response=response, suspected=True
+        )
+
+    if dns_suspect is BlockType.DNS_REDIRECT:
+        # The redirect address served an ordinary page after all — treat as
+        # geo-DNS/CDN behaviour, not blocking.
+        stages.remove(BlockType.DNS_REDIRECT)
+        dns_suspect = None
+    if dns_suspect is not None:
+        # Local resolver lied but the page loads fine via the GDNS address:
+        # still DNS blocking (the user could not have loaded it unaided).
+        return outcome(BlockStatus.BLOCKED, response=response)
+
+    return outcome(BlockStatus.NOT_BLOCKED, response=response)
+
+
+def _looks_like_ip(host: str) -> bool:
+    parts = host.split(".")
+    return len(parts) == 4 and all(p.isdigit() for p in parts)
+
+
+def _redirect_resolve(world: World, ctx: FlowContext, host: str) -> Generator:
+    """Resolve a redirect target's host (ISP resolver)."""
+    ips = yield from resolve(
+        world.env, world.network, ctx, host,
+        world.isp_resolver(ctx), world.dns_config,
+    )
+    return ips[0]

@@ -1,0 +1,196 @@
+"""global_DB + server_DB: the crowdsourced measurement store (§4.2, §5).
+
+The server assigns each registering client a UUID (a cryptographic hash of
+the current server time — no PII, no IP addresses are ever stored),
+accepts periodic reports of *blocked* URLs, maintains the voting ledger,
+and serves per-AS blocked lists that clients pull periodically.
+
+Registration is gated by a CAPTCHA (modeled as a solve-time cost paid by
+the caller plus a pass/fail flag), rate-limiting mass creation of fake
+identities.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..urlkit import normalize_url
+from .records import BlockType
+from .voting import VoteStats, VotingLedger
+
+__all__ = ["ReportItem", "GlobalEntry", "RegistrationError", "ServerDB"]
+
+
+class RegistrationError(Exception):
+    """Registration rejected (failed CAPTCHA or unknown client)."""
+
+
+@dataclass(frozen=True)
+class ReportItem:
+    """One blocked-URL measurement as uploaded by a client."""
+
+    url: str
+    asn: int
+    stages: Tuple[BlockType, ...]
+    measured_at: float  # T_m
+
+
+@dataclass
+class GlobalEntry:
+    """One (URL, AS) row of the global database (Tables 3 + 4 fields)."""
+
+    url: str
+    asn: int
+    stages: List[BlockType]
+    measured_at: float  # T_m of the freshest report
+    posted_at: float  # T_p
+    last_uuid: str  # reporter of the freshest update
+    first_measured_at: float = 0.0  # when the blocking was first observed
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return (self.url, self.asn)
+
+
+class ServerDB:
+    """The measurement collection service (server_DB + global_DB)."""
+
+    def __init__(self, entry_ttl: Optional[float] = 7 * 24 * 3600.0):
+        self.entry_ttl = entry_ttl
+        self._uuid_counter = itertools.count(1)
+        self._clients: Dict[str, float] = {}  # uuid -> registered_at
+        self._entries: Dict[Tuple[str, int], GlobalEntry] = {}
+        self.voting = VotingLedger()
+        self.update_count = 0  # total accepted updates (Table 7 row)
+        self.rejected_registrations = 0
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, now: float, captcha_passed: bool = True) -> str:
+        """Assign a UUID: a cryptographic hash of the current server time."""
+        if not captcha_passed:
+            self.rejected_registrations += 1
+            raise RegistrationError("CAPTCHA failed")
+        token = f"{now:.9f}/{next(self._uuid_counter)}"
+        uuid = hashlib.sha256(token.encode()).hexdigest()[:32]
+        self._clients[uuid] = now
+        return uuid
+
+    def is_registered(self, uuid: str) -> bool:
+        return uuid in self._clients
+
+    @property
+    def client_count(self) -> int:
+        return len(self._clients)
+
+    # -- reporting --------------------------------------------------------------
+
+    def post_update(self, uuid: str, reports: List[ReportItem], now: float) -> int:
+        """Accept a client's batch of blocked-URL reports.
+
+        Returns the number of accepted items.  The client's entire current
+        vouch set is extended by these entries (votes are renormalized by
+        the ledger).
+        """
+        if uuid not in self._clients:
+            raise RegistrationError(f"unknown client: {uuid!r}")
+        accepted = 0
+        for item in reports:
+            url = normalize_url(item.url)
+            key = (url, item.asn)
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = GlobalEntry(
+                    url=url,
+                    asn=item.asn,
+                    stages=list(item.stages),
+                    measured_at=item.measured_at,
+                    posted_at=now,
+                    last_uuid=uuid,
+                    first_measured_at=item.measured_at,
+                )
+                self._entries[key] = entry
+            else:
+                entry.posted_at = now
+                entry.measured_at = max(entry.measured_at, item.measured_at)
+                entry.last_uuid = uuid
+                for stage in item.stages:
+                    if stage not in entry.stages:
+                        entry.stages.append(stage)
+            accepted += 1
+            self.update_count += 1
+        if accepted:
+            self.voting.add_client_reports(
+                uuid, [(normalize_url(i.url), i.asn) for i in reports]
+            )
+        return accepted
+
+    def post_dissent(self, uuid: str, url: str, asn: int, now: float) -> bool:
+        """A client reports that a listed URL is *not* blocked for it.
+
+        Validation by individual clients (§1, §5): the dissenting client's
+        vouch for the entry is withdrawn; when no reporter is left, the
+        entry disappears.  Dissent only ever removes the dissenting
+        client's own vote — a malicious dissenter cannot erase an entry
+        the honest crowd still vouches for.
+
+        Returns True when the entry was dropped entirely.
+        """
+        if uuid not in self._clients:
+            raise RegistrationError(f"unknown client: {uuid!r}")
+        url = normalize_url(url)
+        key = (url, asn)
+        current = self.voting.reports_of(uuid)
+        if key in current:
+            current.discard(key)
+            self.voting.set_client_reports(uuid, list(current))
+        if not self.voting.reporters_for(url, asn):
+            self._entries.pop(key, None)
+            return True
+        return False
+
+    # -- queries ------------------------------------------------------------------
+
+    def _fresh(self, entry: GlobalEntry, now: float) -> bool:
+        if self.entry_ttl is None:
+            return True
+        return now - entry.posted_at <= self.entry_ttl
+
+    def blocked_for_as(
+        self,
+        asn: int,
+        now: float,
+        min_reporters: int = 1,
+        min_votes: float = 0.0,
+    ) -> List[GlobalEntry]:
+        """The blocked list a client on ``asn`` downloads.
+
+        Entries failing the confidence criterion — too few reporters or
+        too little vote mass — are withheld, bounding what false
+        reporters can inject.
+        """
+        result = []
+        for entry in self._entries.values():
+            if entry.asn != asn or not self._fresh(entry, now):
+                continue
+            stats = self.voting.stats(entry.url, entry.asn)
+            if stats.passes(min_reporters=min_reporters, min_votes=min_votes):
+                result.append(entry)
+        return result
+
+    def stats_for(self, url: str, asn: int) -> VoteStats:
+        return self.voting.stats(normalize_url(url), asn)
+
+    def entry(self, url: str, asn: int) -> Optional[GlobalEntry]:
+        return self._entries.get((normalize_url(url), asn))
+
+    def all_entries(self) -> List[GlobalEntry]:
+        return list(self._entries.values())
+
+    def revoke(self, uuid: str) -> None:
+        """Revoke a malicious client: drop identity and vote influence."""
+        self._clients.pop(uuid, None)
+        self.voting.revoke_client(uuid)

@@ -1,0 +1,177 @@
+"""Client↔global_DB synchronisation (§4.2, §5).
+
+Clients register once (CAPTCHA-gated), then periodically:
+
+- upload reports about blocked URLs — carried over Tor so the censor
+  cannot identify contributors (no PII ever leaves the client);
+- download the blocked-URL list for their own AS into a local
+  :class:`GlobalView`, so crowdsourced knowledge is available before the
+  first local measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from ..circumvent.base import Transport, fetch_pipeline
+from ..simnet.flow import FlowContext
+from ..simnet.world import World
+from ..urlkit import base_url, normalize_url
+from .config import CSawConfig
+from .globaldb import GlobalEntry, ReportItem, ServerDB
+from .localdb import LocalDatabase
+
+__all__ = ["GlobalView", "ReportingService", "ensure_collector"]
+
+COLLECTOR_HOSTNAME = "collector.csaw-metrics.io"
+
+
+def ensure_collector(world: World) -> str:
+    """Create the measurement-collection endpoint site (idempotent)."""
+    if world.web.site_for(COLLECTOR_HOSTNAME) is None:
+        site = world.web.add_site(
+            COLLECTOR_HOSTNAME, location="us-east", supports_https=True
+        )
+        world.web.add_page(f"https://{COLLECTOR_HOSTNAME}/", size_bytes=600)
+    return f"https://{COLLECTOR_HOSTNAME}/"
+
+
+class GlobalView:
+    """Client-side cache of the AS's blocked list from the global_DB."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, GlobalEntry] = {}
+        self.last_synced: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def replace(self, entries: List[GlobalEntry], now: float) -> None:
+        self._entries = {entry.url: entry for entry in entries}
+        self.last_synced = now
+
+    def lookup(self, url: str) -> Optional[GlobalEntry]:
+        """Exact match first, then the URL's base (aggregated entries)."""
+        url = normalize_url(url)
+        found = self._entries.get(url)
+        if found is not None:
+            return found
+        return self._entries.get(base_url(url))
+
+    def urls(self) -> List[str]:
+        return list(self._entries)
+
+
+class ReportingService:
+    """Registration, periodic report upload, periodic blocked-list pull."""
+
+    def __init__(
+        self,
+        world: World,
+        server: ServerDB,
+        local_db: LocalDatabase,
+        global_view: GlobalView,
+        config: Optional[CSawConfig] = None,
+        report_transport: Optional[Transport] = None,
+        min_reporters: int = 1,
+        min_votes: float = 0.0,
+    ):
+        self.world = world
+        self.server = server
+        self.local_db = local_db
+        self.global_view = global_view
+        self.config = config or CSawConfig()
+        self.report_transport = report_transport  # Tor, for anonymity
+        self.min_reporters = min_reporters
+        self.min_votes = min_votes
+        self.uuid: Optional[str] = None
+        self.reports_posted = 0
+        self.downloads = 0
+        self._collector_url = ensure_collector(world)
+
+    @property
+    def registered(self) -> bool:
+        return self.uuid is not None
+
+    # -- RPC plumbing ---------------------------------------------------------
+
+    def _rpc(self, ctx: FlowContext) -> Generator:
+        """One round trip to the collection service.
+
+        Over Tor when a report transport is configured (anonymity);
+        otherwise a plain fetch.  The RPC outcome is the latency cost —
+        the payloads themselves are exchanged with the in-process server.
+        """
+        if self.report_transport is not None:
+            result = yield from self.report_transport.fetch(
+                self.world, ctx, self._collector_url
+            )
+        else:
+            result = yield from fetch_pipeline(
+                self.world, ctx, self._collector_url, transport_name="report-rpc"
+            )
+        return result
+
+    # -- operations --------------------------------------------------------------
+
+    def register(self, ctx: FlowContext, captcha_passed: bool = True) -> Generator:
+        """Process: solve the CAPTCHA, register, pull the first blocked list."""
+        env = self.world.env
+        # "No CAPTCHA reCAPTCHA" solve time for a human.
+        yield env.timeout(ctx.rng.uniform(3.0, 12.0))
+        rpc = yield from self._rpc(ctx)
+        if rpc.failed:
+            return None
+        self.uuid = self.server.register(env.now, captcha_passed=captcha_passed)
+        yield from self.download_blocked_list(ctx)
+        return self.uuid
+
+    def post_reports(self, ctx: FlowContext) -> Generator:
+        """Process: upload pending blocked-URL records (over Tor)."""
+        if self.uuid is None:
+            raise RuntimeError("client not registered with the global DB")
+        pending = self.local_db.pending_reports()
+        if not pending:
+            return 0
+        rpc = yield from self._rpc(ctx)
+        if rpc.failed:
+            return 0  # retry at the next interval
+        items = [
+            ReportItem(
+                url=record.url,
+                asn=record.asn,
+                stages=tuple(record.stages),
+                measured_at=record.measured_at,
+            )
+            for record in pending
+        ]
+        accepted = self.server.post_update(self.uuid, items, self.world.env.now)
+        self.local_db.mark_posted([record.url for record in pending])
+        self.reports_posted += accepted
+        return accepted
+
+    def download_blocked_list(self, ctx: FlowContext) -> Generator:
+        """Process: pull this AS's blocked list into the global view."""
+        rpc = yield from self._rpc(ctx)
+        if rpc.failed:
+            return 0
+        now = self.world.env.now
+        entries = self.server.blocked_for_as(
+            self.local_db.asn,
+            now,
+            min_reporters=self.min_reporters,
+            min_votes=self.min_votes,
+        )
+        self.global_view.replace(entries, now)
+        self.downloads += 1
+        return len(entries)
+
+    def run_periodic(self, ctx: FlowContext, until: float) -> Generator:
+        """Background process: report + download loops until ``until``."""
+        env = self.world.env
+        while env.now < until:
+            delay = min(self.config.report_interval, self.config.download_interval)
+            yield env.timeout(delay)
+            if self.uuid is not None:
+                yield from self.post_reports(ctx)
+            yield from self.download_blocked_list(ctx)

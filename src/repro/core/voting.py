@@ -1,0 +1,96 @@
+"""Vote accounting for crowdsourced measurements (§5).
+
+Each client holds one unit of vote and spreads it evenly across the d
+blocked URLs it currently reports: v_{i,j,k} = 1/d for client i, URL j,
+AS k.  The server keeps, per (URL, AS):
+
+- s_{j,k}: the sum of votes — small s with large n signals a clique
+  spamming many URLs each;
+- n_{j,k}: how many distinct clients vouch for it — small n signals a
+  lone (possibly malicious) reporter.
+
+Consumers apply a confidence criterion over (s, n) before trusting an
+entry, which bounds the influence any single registered identity can buy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["VoteStats", "VotingLedger"]
+
+Key = Tuple[str, int]  # (url, asn)
+
+
+@dataclass(frozen=True)
+class VoteStats:
+    """Robustness estimates for one (URL, AS) entry."""
+
+    votes: float  # s_{j,k}
+    reporters: int  # n_{j,k}
+
+    def passes(self, min_reporters: int = 1, min_votes: float = 0.0) -> bool:
+        return self.reporters >= min_reporters and self.votes >= min_votes
+
+
+class VotingLedger:
+    """Tracks which client vouches for which blocked (URL, AS) entries."""
+
+    def __init__(self) -> None:
+        self._by_client: Dict[str, Set[Key]] = {}
+        self._by_key: Dict[Key, Set[str]] = {}
+
+    def set_client_reports(self, client_id: str, keys: List[Key]) -> None:
+        """Replace the set of blocked entries ``client_id`` vouches for.
+
+        Votes are recomputed implicitly: a client reporting d URLs gives
+        1/d to each, so growing its report list dilutes its earlier votes
+        — the PageRank-style normalization the paper leans on.
+        """
+        new_keys = set(keys)
+        old_keys = self._by_client.get(client_id, set())
+        for key in old_keys - new_keys:
+            owners = self._by_key.get(key)
+            if owners is not None:
+                owners.discard(client_id)
+                if not owners:
+                    del self._by_key[key]
+        for key in new_keys - old_keys:
+            self._by_key.setdefault(key, set()).add(client_id)
+        if new_keys:
+            self._by_client[client_id] = new_keys
+        else:
+            self._by_client.pop(client_id, None)
+
+    def add_client_reports(self, client_id: str, keys: List[Key]) -> None:
+        """Add entries to a client's vouch set (keeping existing ones)."""
+        merged = list(self._by_client.get(client_id, set()) | set(keys))
+        self.set_client_reports(client_id, merged)
+
+    def revoke_client(self, client_id: str) -> None:
+        """Drop a (malicious) client's influence entirely."""
+        self.set_client_reports(client_id, [])
+
+    def stats(self, url: str, asn: int) -> VoteStats:
+        key = (url, asn)
+        reporters = self._by_key.get(key, set())
+        votes = 0.0
+        for client_id in reporters:
+            d = len(self._by_client.get(client_id, ()))
+            if d:
+                votes += 1.0 / d
+        return VoteStats(votes=votes, reporters=len(reporters))
+
+    def reporters_for(self, url: str, asn: int) -> Set[str]:
+        return set(self._by_key.get((url, asn), set()))
+
+    def client_count(self) -> int:
+        return len(self._by_client)
+
+    def clients(self) -> List[str]:
+        return list(self._by_client)
+
+    def reports_of(self, client_id: str) -> Set[Key]:
+        """The (URL, AS) entries this client currently vouches for."""
+        return set(self._by_client.get(client_id, set()))

@@ -1,0 +1,376 @@
+"""Deterministic discrete-event simulation kernel.
+
+Every network interaction in the reproduction (DNS lookups, TCP handshakes,
+page fetches, censor-induced timeouts) runs as a *process* on this kernel: a
+Python generator that yields :class:`Event` objects and is resumed when they
+trigger.  The design follows the well-known SimPy model, restricted to the
+primitives the C-Saw reproduction needs:
+
+- :class:`Environment` — the virtual clock and event queue.
+- :class:`Timeout` — an event that triggers after a virtual delay.
+- :class:`Process` — a running generator; itself an event that triggers when
+  the generator returns (its value) or raises (its failure).
+- :class:`AnyOf` / :class:`AllOf` — condition events used for redundant
+  requests ("first response wins") and barrier joins.
+- :meth:`Process.interrupt` — used to cancel the losing redundant request.
+
+Virtual time is a float in seconds.  The kernel is fully deterministic: ties
+in the event queue are broken by insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (e.g. running a finished environment)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    The interrupting party supplies ``cause``, available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Sentinels for Event state.
+_PENDING = object()
+
+
+class Event:
+    """An occurrence in virtual time that processes can wait on.
+
+    An event starts *pending*, is *triggered* with either a value
+    (:meth:`succeed`) or an exception (:meth:`fail`), and is *processed* once
+    the environment has run its callbacks.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        # True once a failure has been delivered to at least one waiter.
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event with ``value``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception delivered to waiters."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """Event that triggers ``delay`` seconds of virtual time in the future."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger automatically")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger automatically")
+
+
+class Process(Event):
+    """A running generator.  Triggers when the generator finishes.
+
+    The generator yields events; each resumption receives the event's value
+    (or has the event's exception thrown in).  Returning from the generator
+    succeeds the process with the return value; an uncaught exception fails
+    it.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process() requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Kick-start on the next loop iteration.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init._ok = True
+        init._value = None
+        env._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if self.triggered:
+            return  # Interrupting a finished process is a no-op.
+        interruption = Event(self.env)
+        interruption.callbacks.append(self._resume_interrupt)
+        interruption._ok = False
+        interruption._value = Interrupt(cause)
+        interruption._defused = True
+        self.env._schedule(interruption)
+
+    # -- internal ---------------------------------------------------------
+
+    def _resume_interrupt(self, event: Event) -> None:
+        if self.triggered:
+            return  # Process finished before the interrupt was delivered.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            while True:
+                if event is None:
+                    next_event = self._generator.send(None)
+                elif event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+                if not isinstance(next_event, Event):
+                    raise SimulationError(
+                        f"process yielded a non-event: {next_event!r}"
+                    )
+                if next_event.env is not self.env:
+                    raise SimulationError("yielded event from another environment")
+                self._target = next_event
+                if next_event.callbacks is not None:
+                    next_event.callbacks.append(self._resume)
+                    break
+                # Event already processed: loop again immediately.
+                event = next_event
+        except StopIteration as stop:
+            self._target = None
+            if not self.triggered:
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self)
+        except BaseException as exc:
+            self._target = None
+            if not self.triggered:
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self)
+        finally:
+            self.env._active_process = None
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events: List[Event] = list(events)
+        self._matched = 0
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("condition spans multiple environments")
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.callbacks is None:  # already processed
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _satisfied(self) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._matched += 1
+        if self._satisfied():
+            self.succeed(
+                {
+                    ev: ev._value
+                    for ev in self.events
+                    if ev.callbacks is None and ev._ok
+                }
+            )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class AnyOf(_Condition):
+    """Triggers when any child event triggers (fails if one fails first)."""
+
+    def _satisfied(self) -> bool:
+        return self._matched >= 1
+
+
+class AllOf(_Condition):
+    """Triggers when all child events have triggered."""
+
+    def _satisfied(self) -> bool:
+        return self._matched == len(self.events)
+
+
+class Environment:
+    """Virtual clock plus event queue.
+
+    Use :meth:`process` to launch generators, :meth:`run` to execute until
+    the queue drains, an event triggers, or a deadline passes.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Any] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event constructors -------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks or []:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (drain the queue), a number (run until that
+        virtual time), or an :class:`Event` (run until it triggers, returning
+        its value or raising its failure).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            while not until.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before the awaited event triggered"
+                    )
+                self.step()
+            if until._ok:
+                return until._value
+            until._defused = True
+            raise until._value
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError("cannot run backwards in time")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None

@@ -1,0 +1,64 @@
+"""Tiny IPv4 utilities for the simulated Internet.
+
+Real address semantics are irrelevant to the reproduction; what matters is
+that hosts have distinct, stable addresses censors can blacklist and that
+"private" block-page redirect targets are recognisable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["IpAllocator", "int_to_ip", "ip_to_int", "is_private"]
+
+
+def int_to_ip(value: int) -> str:
+    """Render a 32-bit integer as dotted-quad."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"not a 32-bit value: {value!r}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ip_to_int(address: str) -> int:
+    """Parse dotted-quad into a 32-bit integer."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"malformed IPv4 address: {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+_PRIVATE_PREFIXES = (
+    (ip_to_int("10.0.0.0"), 8),
+    (ip_to_int("172.16.0.0"), 12),
+    (ip_to_int("192.168.0.0"), 16),
+    (ip_to_int("127.0.0.0"), 8),
+)
+
+
+def is_private(address: str) -> bool:
+    """True for RFC1918/loopback space (censors redirect DNS here)."""
+    value = ip_to_int(address)
+    for prefix, bits in _PRIVATE_PREFIXES:
+        if value >> (32 - bits) == prefix >> (32 - bits):
+            return True
+    return False
+
+
+class IpAllocator:
+    """Sequential allocator inside a /8, one stream per purpose."""
+
+    def __init__(self, first_octet: int = 100):
+        if not 1 <= first_octet <= 223:
+            raise ValueError(f"unusable first octet: {first_octet!r}")
+        self._next = (first_octet << 24) + 1
+
+    def allocate(self) -> str:
+        address = int_to_ip(self._next)
+        self._next += 1
+        if self._next & 0xFF in (0, 255):  # skip network/broadcast-ish
+            self._next += 1
+        return address

@@ -1,0 +1,133 @@
+"""URL parsing and base/derived relationships.
+
+C-Saw's local database is keyed by URL and its aggregation scheme (§4.4)
+reasons about *base* URLs (``http://www.foo.com/``) versus *derived* URLs
+(``http://www.foo.com/a.html``).  This module centralises that vocabulary
+so the simulator, the proxy, and the database all agree on it.
+
+Only the subset of URL syntax the reproduction needs is supported:
+``scheme://host[:port]/path`` with http/https schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+__all__ = [
+    "ParsedUrl",
+    "parse_url",
+    "normalize_url",
+    "base_url",
+    "is_base_url",
+    "is_derived_of",
+    "registered_domain",
+]
+
+_DEFAULT_PORTS = {"http": 80, "https": 443}
+
+
+@dataclass(frozen=True)
+class ParsedUrl:
+    scheme: str
+    host: str
+    port: int
+    path: str
+
+    @property
+    def origin(self) -> str:
+        """scheme://host[:port] with default ports elided."""
+        if _DEFAULT_PORTS.get(self.scheme) == self.port:
+            return f"{self.scheme}://{self.host}"
+        return f"{self.scheme}://{self.host}:{self.port}"
+
+    @property
+    def url(self) -> str:
+        return f"{self.origin}{self.path}"
+
+    @property
+    def is_base(self) -> bool:
+        return self.path == "/"
+
+    def base(self) -> "ParsedUrl":
+        return replace(self, path="/")
+
+    def with_scheme(self, scheme: str) -> "ParsedUrl":
+        if scheme not in _DEFAULT_PORTS:
+            raise ValueError(f"unsupported scheme: {scheme!r}")
+        port = self.port
+        if port == _DEFAULT_PORTS[self.scheme]:
+            port = _DEFAULT_PORTS[scheme]
+        return replace(self, scheme=scheme, port=port)
+
+    def with_host(self, host: str) -> "ParsedUrl":
+        return replace(self, host=host.lower())
+
+    def __str__(self) -> str:
+        return self.url
+
+
+def parse_url(url: str) -> ParsedUrl:
+    """Parse ``scheme://host[:port]/path`` (path defaults to ``/``)."""
+    if "://" not in url:
+        raise ValueError(f"URL missing scheme: {url!r}")
+    scheme, rest = url.split("://", 1)
+    scheme = scheme.lower()
+    if scheme not in _DEFAULT_PORTS:
+        raise ValueError(f"unsupported scheme: {scheme!r} in {url!r}")
+    if "/" in rest:
+        authority, path = rest.split("/", 1)
+        path = "/" + path
+    else:
+        authority, path = rest, "/"
+    if not authority:
+        raise ValueError(f"URL missing host: {url!r}")
+    if ":" in authority:
+        host, port_text = authority.rsplit(":", 1)
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(f"bad port in URL: {url!r}") from None
+        if not 0 < port < 65536:
+            raise ValueError(f"bad port in URL: {url!r}")
+    else:
+        host, port = authority, _DEFAULT_PORTS[scheme]
+    return ParsedUrl(scheme=scheme, host=host.lower(), port=port, path=path)
+
+
+def normalize_url(url: str) -> str:
+    """Canonical string form (lowercased host, default port elided)."""
+    return parse_url(url).url
+
+
+def base_url(url: str) -> str:
+    """The base URL (path ``/``) of ``url``."""
+    return parse_url(url).base().url
+
+
+def is_base_url(url: str) -> bool:
+    return parse_url(url).is_base
+
+
+def is_derived_of(derived: str, base: str) -> bool:
+    """True when ``derived`` shares origin with ``base`` and extends it.
+
+    ``base`` may itself be a non-root path (prefix semantics, used by the
+    local_DB's longest-prefix matching).
+    """
+    d, b = parse_url(derived), parse_url(base)
+    if (d.scheme, d.host, d.port) != (b.scheme, b.host, b.port):
+        return False
+    if b.path == "/":
+        return True
+    return d.path == b.path or d.path.startswith(
+        b.path if b.path.endswith("/") else b.path + "/"
+    )
+
+
+def registered_domain(host: str) -> str:
+    """Crude eTLD+1: last two labels (enough for the synthetic corpus)."""
+    labels = host.lower().rstrip(".").split(".")
+    if len(labels) <= 2:
+        return ".".join(labels)
+    return ".".join(labels[-2:])

@@ -1,0 +1,42 @@
+"""Workloads: synthetic corpus, canned scenarios, pilot study, events."""
+
+from .corpus import CATEGORY_MIX, Corpus, SiteSpec, build_corpus
+from .events import (
+    BlockingEvent,
+    BlockingWave,
+    WaveObservation,
+    run_blocking_wave,
+)
+from .oni import FIG2_CATEGORIES, ONI_AS_SPECS, OniSweep, run_oni_sweep
+from .pilot import PilotConfig, PilotReport, PilotStudy, run_pilot
+from .scenarios import (
+    BLOCKED_CATEGORIES,
+    CaseStudyScenario,
+    CentralizedScenario,
+    centralized_country,
+    pakistan_case_study,
+)
+
+__all__ = [
+    "CATEGORY_MIX",
+    "Corpus",
+    "SiteSpec",
+    "build_corpus",
+    "BlockingEvent",
+    "BlockingWave",
+    "WaveObservation",
+    "run_blocking_wave",
+    "FIG2_CATEGORIES",
+    "ONI_AS_SPECS",
+    "OniSweep",
+    "run_oni_sweep",
+    "PilotConfig",
+    "PilotReport",
+    "PilotStudy",
+    "run_pilot",
+    "BLOCKED_CATEGORIES",
+    "CaseStudyScenario",
+    "CentralizedScenario",
+    "centralized_country",
+    "pakistan_case_study",
+]

@@ -1,0 +1,278 @@
+"""“C-Saw in the wild” (§7.5): a time-varying blocking wave.
+
+During the November 2017 protests, Pakistani ISPs blocked Twitter and
+Instagram — each AS with its own mechanism, at its own time.  C-Saw users
+who tried the services produced a timeline of (time, AS, service,
+symptom) measurements in the global database.
+
+:func:`run_blocking_wave` replays that: four ASes, per-AS blocking events
+scheduled mid-simulation, a handful of users per AS browsing both
+services, and the resulting global-DB snapshot rendered as the paper's
+bullet list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..censor.actions import DnsAction, DnsVerdict, HttpAction, HttpVerdict
+from ..censor.blockpages import DEFAULT_BLOCKPAGE_HTML
+from ..censor.policy import CensorPolicy, Matcher, Rule
+from ..circumvent import (
+    HttpsTransport,
+    LanternNetwork,
+    LanternTransport,
+    PublicDnsTransport,
+    TorNetwork,
+    TorTransport,
+)
+from ..core import CSawClient, CSawConfig, ServerDB
+from ..simnet.web import WebPage
+from ..simnet.world import World
+
+__all__ = ["BlockingEvent", "WaveObservation", "BlockingWave", "run_blocking_wave"]
+
+TWITTER = "twitter.com"
+INSTAGRAM = "www.instagram.com"
+
+# Symptom labels in the paper's snapshot vocabulary.
+_SYMPTOM_LABEL = {
+    "http-get-timeout": "HTTP_GET_TIMEOUT",
+    "block-page": "HTTP_GET_BLOCKPAGE",
+    "dns-redirect": "DNS blocking",
+    "dns-nxdomain": "DNS blocking",
+    "dns-servfail": "DNS blocking",
+    "dns-timeout": "DNS blocking",
+    "tcp-timeout": "TCP/IP blocking",
+}
+
+
+@dataclass(frozen=True)
+class BlockingEvent:
+    """One censor action: an AS starts blocking a domain at a given time."""
+
+    time: float
+    asn: int
+    domain: str
+    mechanism: str  # "http-drop" | "blockpage" | "dns"
+
+
+@dataclass(frozen=True)
+class WaveObservation:
+    """One detection as it landed in the global DB."""
+
+    detected_at: float
+    asn: int
+    service: str
+    symptom: str
+
+    def render(self) -> str:
+        hours = self.detected_at / 3600.0
+        return (
+            f"{self.service} found blocked at t+{hours:.1f}h from "
+            f"AS {self.asn} (Response: {self.symptom})"
+        )
+
+
+class BlockingWave:
+    """Builds the four-AS world and replays the blocking timeline."""
+
+    DEFAULT_ASNS = (38193, 17557, 59257, 45773)
+
+    def __init__(
+        self,
+        seed: int = 5,
+        users_per_as: int = 4,
+        browse_interval: float = 1800.0,
+        duration: float = 36 * 3600.0,
+    ):
+        self.seed = seed
+        self.users_per_as = users_per_as
+        self.browse_interval = browse_interval
+        self.duration = duration
+        self.world = World(seed=seed)
+        self.server = ServerDB(entry_ttl=None)
+        self.events: List[BlockingEvent] = []
+        self._policies: Dict[int, CensorPolicy] = {}
+        self._blockpage_ip: Optional[str] = None
+        self.clients: List[CSawClient] = []
+
+    def default_timeline(self) -> List[BlockingEvent]:
+        """The paper's snapshot: Twitter first (two ASes, different
+        mechanisms), Instagram the next morning via DNS in three ASes."""
+        h = 3600.0
+        return [
+            BlockingEvent(time=13.5 * h, asn=38193, domain=TWITTER, mechanism="http-drop"),
+            BlockingEvent(time=13.55 * h, asn=17557, domain=TWITTER, mechanism="blockpage"),
+            BlockingEvent(time=28.8 * h, asn=38193, domain=INSTAGRAM, mechanism="dns"),
+            BlockingEvent(time=33.1 * h, asn=59257, domain=INSTAGRAM, mechanism="dns"),
+            BlockingEvent(time=33.5 * h, asn=45773, domain=INSTAGRAM, mechanism="dns"),
+        ]
+
+    # -- construction ---------------------------------------------------------
+
+    def build(self, events: Optional[List[BlockingEvent]] = None) -> "BlockingWave":
+        world = self.world
+        self.events = events if events is not None else self.default_timeline()
+        world.add_public_resolver()
+
+        for service, size in ((TWITTER, 250_000), (INSTAGRAM, 500_000)):
+            world.web.add_site(service, location="us-east", bandwidth_bps=300e6)
+            world.web.add_page(f"http://{service}/", size_bytes=size)
+
+        html = DEFAULT_BLOCKPAGE_HTML
+        site = world.web.add_site(
+            "block.pta.example",
+            location="pakistan",
+            supports_https=False,
+            catch_all=lambda path: WebPage(
+                url=f"http://block.pta.example{path}",
+                size_bytes=max(900, len(html)),
+                html=html,
+                category="blockpage",
+            ),
+        )
+        self._blockpage_ip = site.host.ip
+
+        tor = TorNetwork.build(world, n_relays=30)
+        lantern = LanternNetwork.build(world, n_proxies=8)
+
+        for asn in self.DEFAULT_ASNS:
+            policy = CensorPolicy(name=f"AS{asn}")
+            self._policies[asn] = policy
+            isp = world.add_isp(asn, f"AS{asn}", policy=policy)
+            for index in range(self.users_per_as):
+                name = f"wave-user-{asn}-{index}"
+                client = CSawClient(
+                    world,
+                    name,
+                    [isp],
+                    transports=[
+                        PublicDnsTransport(),
+                        HttpsTransport(),
+                        TorTransport(tor.client(f"tor/{name}")),
+                        LanternTransport(lantern, user_stream=f"lantern/{name}"),
+                    ],
+                    server_db=self.server,
+                    config=CSawConfig(
+                        record_ttl=4 * 3600.0,  # short TTL: re-measure often
+                        report_interval=1800.0,
+                        download_interval=1800.0,
+                    ),
+                )
+                self.clients.append(client)
+        return self
+
+    def _rule_for(self, event: BlockingEvent) -> Rule:
+        matcher = Matcher(domains={event.domain})
+        if event.mechanism == "http-drop":
+            return Rule(matcher=matcher, http=HttpVerdict(HttpAction.DROP),
+                        label=event.domain)
+        if event.mechanism == "blockpage":
+            return Rule(
+                matcher=matcher,
+                http=HttpVerdict(
+                    HttpAction.BLOCKPAGE_REDIRECT, blockpage_ip=self._blockpage_ip
+                ),
+                label=event.domain,
+            )
+        if event.mechanism == "dns":
+            return Rule(
+                matcher=matcher,
+                dns=DnsVerdict(DnsAction.REDIRECT, redirect_ip="10.66.66.66"),
+                http=HttpVerdict(HttpAction.DROP),
+                label=event.domain,
+            )
+        raise ValueError(f"unknown mechanism: {event.mechanism!r}")
+
+    # -- driving -----------------------------------------------------------------
+
+    def _censor_process(self):
+        env = self.world.env
+        for event in sorted(self.events, key=lambda e: e.time):
+            yield env.timeout(max(0.0, event.time - env.now))
+            self._policies[event.asn].add_rule(self._rule_for(event))
+
+    def _user_process(self, client: CSawClient, rng):
+        env = self.world.env
+        yield env.timeout(rng.uniform(0, 600))
+        yield from client.install()
+        client.start_background(until=self.duration)
+        while env.now < self.duration:
+            yield env.timeout(rng.expovariate(1.0 / self.browse_interval))
+            url = f"http://{rng.choice([TWITTER, INSTAGRAM])}/"
+            response = yield from client.request(url)
+            yield response.measurement_process
+
+    def run(self) -> List[WaveObservation]:
+        if not self.clients:
+            self.build()
+        world = self.world
+        world.env.process(self._censor_process())
+        for index, client in enumerate(self.clients):
+            rng = world.rngs.fork(f"wave-{index}").stream("behaviour")
+            world.env.process(self._user_process(client, rng))
+        world.env.run()
+        return self.observations()
+
+    # -- results -------------------------------------------------------------------
+
+    def observations(self) -> List[WaveObservation]:
+        found = []
+        for entry in self.server.all_entries():
+            service = "Twitter" if "twitter" in entry.url else "Instagram"
+            symptom = "unknown"
+            for stage in entry.stages:
+                label = _SYMPTOM_LABEL.get(stage.value)
+                if label is not None:
+                    symptom = label
+                    if label == "DNS blocking":
+                        break
+            found.append(
+                WaveObservation(
+                    detected_at=entry.first_measured_at,
+                    asn=entry.asn,
+                    service=service,
+                    symptom=symptom,
+                )
+            )
+        return sorted(found, key=lambda o: o.detected_at)
+
+
+def run_blocking_wave(seed: int = 5, **kwargs) -> List[WaveObservation]:
+    return BlockingWave(seed=seed, **kwargs).run()
+
+
+def staggered_rollout(
+    domains: List[str],
+    asns: List[int],
+    start: float,
+    lag: float,
+    mechanism: str = "blockpage",
+    rng=None,
+) -> List[BlockingEvent]:
+    """A national directive enforced with per-ISP lag.
+
+    Real distributed censorship rolls out unevenly: the regulator issues
+    one order, each ISP applies it hours apart (the §7.5 snapshot shows
+    exactly this).  Returns one :class:`BlockingEvent` per (AS, domain),
+    each AS starting ``start + U[0, lag]`` with a deterministic draw when
+    ``rng`` is given.
+    """
+    import random as _random
+
+    rng = rng or _random.Random(0)
+    events = []
+    for asn in asns:
+        offset = rng.uniform(0.0, lag)
+        for domain in domains:
+            events.append(
+                BlockingEvent(
+                    time=start + offset,
+                    asn=asn,
+                    domain=domain,
+                    mechanism=mechanism,
+                )
+            )
+    return events

@@ -1,0 +1,58 @@
+"""Tests for the csaw-sim command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_seed_accepted_after_subcommand(self):
+        args = build_parser().parse_args(["wave", "--seed", "9"])
+        assert args.seed == 9
+
+    def test_pilot_options(self):
+        args = build_parser().parse_args(
+            ["pilot", "--users", "10", "--days", "5", "--ases", "4"]
+        )
+        assert (args.users, args.days, args.ases) == (10, 5.0, 4)
+
+
+class TestCommands:
+    def test_quickstart_runs(self, capsys):
+        assert main(["quickstart", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "quickstart" in out
+        assert "https" in out  # converged onto the local fix
+
+    def test_casestudy_runs(self, capsys):
+        assert main(["casestudy"]) == 0
+        out = capsys.readouterr().out
+        assert "ISP-A" in out and "ISP-B" in out
+        assert "dns-redirect" in out
+
+    def test_wave_runs(self, capsys):
+        assert main(["wave"]) == 0
+        out = capsys.readouterr().out
+        assert "Twitter" in out and "Instagram" in out
+
+    def test_oni_runs(self, capsys):
+        assert main(["oni", "--domains", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "AS30873" in out
+
+    def test_blockpages_runs(self, capsys):
+        assert main(["blockpages"]) == 0
+        out = capsys.readouterr().out
+        assert "phase-1 recall" in out
+
+    def test_small_pilot_runs(self, capsys):
+        assert main(
+            ["pilot", "--users", "6", "--days", "8", "--sites", "120",
+             "--ases", "3", "--seed", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "No. of users" in out

@@ -1,0 +1,277 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simnet.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.5)
+        yield env.timeout(2.5)
+        return env.now
+
+    assert env.run(until=env.process(proc())) == 4.0
+    assert env.now == 4.0
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def proc():
+        got = yield env.timeout(1.0, value="hello")
+        return got
+
+    assert env.run(until=env.process(proc())) == "hello"
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def inner():
+        yield env.timeout(1)
+        return 42
+
+    def outer():
+        value = yield env.process(inner())
+        return value + 1
+
+    assert env.run(until=env.process(outer())) == 43
+
+
+def test_yield_from_composition():
+    env = Environment()
+
+    def inner():
+        yield env.timeout(3)
+        return "inner-done"
+
+    def outer():
+        value = yield from inner()
+        return value
+
+    assert env.run(until=env.process(outer())) == "inner-done"
+    assert env.now == 3
+
+
+def test_process_failure_propagates_to_waiter():
+    env = Environment()
+
+    def failing():
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    def waiter():
+        try:
+            yield env.process(failing())
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    assert env.run(until=env.process(waiter())) == "caught boom"
+
+
+def test_unhandled_process_failure_raises_at_run():
+    env = Environment()
+
+    def failing():
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+
+    env.process(failing())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_event_succeed_wakes_waiters_in_order():
+    env = Environment()
+    gate = env.event()
+    woken = []
+
+    def waiter(name):
+        value = yield gate
+        woken.append((name, value, env.now))
+
+    env.process(waiter("a"))
+    env.process(waiter("b"))
+
+    def trigger():
+        yield env.timeout(5)
+        gate.succeed("go")
+
+    env.process(trigger())
+    env.run()
+    assert woken == [("a", "go", 5), ("b", "go", 5)]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_any_of_returns_first():
+    env = Environment()
+
+    def proc():
+        fast = env.timeout(1, value="fast")
+        slow = env.timeout(10, value="slow")
+        result = yield env.any_of([fast, slow])
+        return result
+
+    result = env.run(until=env.process(proc()))
+    assert list(result.values()) == ["fast"]
+    assert env.now == 1
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc():
+        a = env.timeout(1, value="a")
+        b = env.timeout(4, value="b")
+        result = yield env.all_of([a, b])
+        return sorted(result.values())
+
+    assert env.run(until=env.process(proc())) == ["a", "b"]
+    assert env.now == 4
+
+
+def test_any_of_empty_triggers_immediately():
+    env = Environment()
+
+    def proc():
+        result = yield env.any_of([])
+        return result
+
+    assert env.run(until=env.process(proc())) == {}
+
+
+def test_interrupt_cancels_wait():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+            log.append(("finished", env.now))
+        except Interrupt as exc:
+            log.append((f"interrupted:{exc.cause}", env.now))
+            return "cancelled"
+
+    def canceller(victim):
+        yield env.timeout(2)
+        victim.interrupt("lost-race")
+
+    victim = env.process(sleeper())
+    env.process(canceller(victim))
+    env.run()
+    # The interrupt was delivered at t=2; the stale timeout still drains the
+    # queue at t=100 but nobody is woken by it.
+    assert log == [("interrupted:lost-race", 2)]
+    assert victim.value == "cancelled"
+
+
+def test_interrupt_finished_process_is_noop():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+        return "done"
+
+    def canceller(victim):
+        yield env.timeout(5)
+        victim.interrupt("too-late")
+
+    victim = env.process(quick())
+    env.process(canceller(victim))
+    env.run()
+    assert victim.value == "done"
+
+
+def test_run_until_time():
+    env = Environment()
+    ticks = []
+
+    def ticker():
+        while True:
+            yield env.timeout(1)
+            ticks.append(env.now)
+
+    env.process(ticker())
+    env.run(until=10.5)
+    assert ticks == list(range(1, 11))
+    assert env.now == 10.5
+
+
+def test_run_backwards_rejected():
+    env = Environment()
+    env.run(until=5)
+    with pytest.raises(SimulationError):
+        env.run(until=1)
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(42)  # type: ignore[arg-type]
+
+
+def test_simultaneous_events_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(name):
+        yield env.timeout(1)
+        order.append(name)
+
+    for name in ("first", "second", "third"):
+        env.process(proc(name))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_nested_any_of_with_processes():
+    env = Environment()
+
+    def worker(delay, tag):
+        yield env.timeout(delay)
+        return tag
+
+    def racer():
+        a = env.process(worker(3, "a"))
+        b = env.process(worker(7, "b"))
+        result = yield env.any_of([a, b])
+        winner = list(result.values())[0]
+        # The loser is still running; cancel it.
+        b.interrupt("lost")
+        return winner
+
+    assert env.run(until=env.process(racer())) == "a"
+
+
+def test_drained_queue_with_pending_event_errors():
+    env = Environment()
+    never = env.event()
+
+    def waiter():
+        yield never
+
+    proc = env.process(waiter())
+    with pytest.raises(SimulationError):
+        env.run(until=proc)

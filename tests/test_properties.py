@@ -1,0 +1,265 @@
+"""Property-based tests (hypothesis) on kernel and core invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import UrlPrefixIndex
+from repro.core.globaldb import ReportItem, ServerDB
+from repro.core.localdb import LocalDatabase
+from repro.core.records import BlockStatus, BlockType
+from repro.core.voting import VotingLedger
+from repro.simnet.engine import Environment
+from repro.simnet.latency import LatencyModel
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1,
+                    max_size=30))
+    def test_clock_reaches_latest_timer(self, delays):
+        env = Environment()
+        done = []
+
+        def sleeper(delay):
+            yield env.timeout(delay)
+            done.append(delay)
+
+        for delay in delays:
+            env.process(sleeper(delay))
+        env.run()
+        assert sorted(done) == sorted(delays)
+        assert env.now == pytest.approx(max(delays))
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1,
+                    max_size=20))
+    def test_event_order_is_time_order(self, delays):
+        env = Environment()
+        order = []
+
+        def sleeper(delay):
+            yield env.timeout(delay)
+            order.append(env.now)
+
+        for delay in delays:
+            env.process(sleeper(delay))
+        env.run()
+        assert order == sorted(order)
+
+    @given(
+        st.recursive(
+            st.floats(min_value=0.01, max_value=5.0),
+            lambda children: st.lists(children, min_size=1, max_size=3),
+            max_leaves=12,
+        )
+    )
+    @settings(max_examples=40)
+    def test_random_process_trees_complete(self, tree):
+        """Arbitrary trees of spawn-and-join processes all terminate and
+        the root's duration equals the tree's critical path."""
+        env = Environment()
+
+        def critical_path(node):
+            if isinstance(node, float):
+                return node
+            return max(critical_path(child) for child in node)
+
+        def run_node(node):
+            if isinstance(node, float):
+                yield env.timeout(node)
+                return node
+            children = [env.process(run_node(child)) for child in node]
+            yield env.all_of(children)
+            return None
+
+        root = env.process(run_node(tree))
+        env.run(until=root)
+        assert env.now == pytest.approx(critical_path(tree))
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20)
+    def test_same_program_same_trace(self, seed):
+        """Determinism: identical programs produce identical event traces."""
+        import random
+
+        def run_program():
+            env = Environment()
+            rng = random.Random(seed)
+            trace = []
+
+            def worker(name):
+                for _ in range(3):
+                    yield env.timeout(rng.uniform(0.1, 2.0))
+                    trace.append((name, round(env.now, 9)))
+
+            for name in range(4):
+                env.process(worker(name))
+            env.run()
+            return trace
+
+        assert run_program() == run_program()
+
+
+class TestLatencyProperties:
+    @given(
+        st.floats(min_value=0.001, max_value=2.0),
+        st.floats(min_value=0.001, max_value=2.0),
+    )
+    def test_combine_adds_rtts_commutatively(self, a, b):
+        m1 = LatencyModel(base_rtt=a)
+        m2 = LatencyModel(base_rtt=b)
+        assert m1.combine(m2).base_rtt == pytest.approx(m2.combine(m1).base_rtt)
+        assert m1.combine(m2).base_rtt == pytest.approx(a + b)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.5),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_combined_loss_in_unit_interval(self, la, lb):
+        combined = LatencyModel(0.1, loss=la).combine(LatencyModel(0.1, loss=lb))
+        assert 0.0 <= combined.loss < 1.0
+        assert combined.loss >= max(la, lb) - 1e-12
+
+
+_paths = st.lists(
+    st.sampled_from(["a", "b", "c", "d"]), min_size=0, max_size=4
+).map(lambda segs: "/" + "/".join(segs) if segs else "/")
+
+
+class TestPrefixIndexProperties:
+    @given(st.sets(_paths, min_size=1, max_size=10), _paths)
+    def test_longest_prefix_is_longest_matching_stored_path(self, stored, query):
+        index = UrlPrefixIndex()
+        for path in stored:
+            index.add(f"http://x.example{path}")
+        result = index.longest_prefix(f"http://x.example{query}")
+
+        def is_prefix(prefix, path):
+            if prefix == "/":
+                return True
+            return path == prefix or path.startswith(prefix + "/")
+
+        matching = [p for p in stored if is_prefix(p, query)]
+        if not matching:
+            assert result is None
+        else:
+            expected = max(matching, key=len)
+            assert result == f"http://x.example{expected}"
+
+    @given(st.lists(_paths, min_size=1, max_size=15))
+    def test_add_remove_roundtrip_empties_index(self, paths):
+        index = UrlPrefixIndex()
+        for path in paths:
+            index.add(f"http://x.example{path}")
+        for path in paths:
+            index.remove(f"http://x.example{path}")
+        assert len(index) == 0
+        assert index.longest_prefix("http://x.example/a") is None
+
+
+class TestVotingProperties:
+    clients = st.sampled_from([f"c{i}" for i in range(5)])
+    keys = st.sampled_from([(f"http://u{i}.example/", 1) for i in range(6)])
+
+    @given(
+        st.lists(
+            st.tuples(clients, st.lists(keys, max_size=6, unique=True)),
+            max_size=20,
+        )
+    )
+    def test_vote_mass_equals_active_clients(self, operations):
+        ledger = VotingLedger()
+        for client, keys in operations:
+            ledger.set_client_reports(client, keys)
+        total = sum(
+            ledger.stats(f"http://u{i}.example/", 1).votes for i in range(6)
+        )
+        assert total == pytest.approx(ledger.client_count())
+
+    @given(
+        st.lists(
+            st.tuples(clients, st.lists(keys, max_size=6, unique=True)),
+            max_size=20,
+        )
+    )
+    def test_reporter_counts_consistent(self, operations):
+        ledger = VotingLedger()
+        for client, keys in operations:
+            ledger.set_client_reports(client, keys)
+        for i in range(6):
+            url = f"http://u{i}.example/"
+            stats = ledger.stats(url, 1)
+            assert stats.reporters == len(ledger.reporters_for(url, 1))
+            assert stats.votes <= stats.reporters + 1e-9
+
+
+class TestServerDbProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # client index
+                st.integers(min_value=0, max_value=9),  # url index
+                st.integers(min_value=1, max_value=2),  # asn
+            ),
+            max_size=30,
+        )
+    )
+    def test_download_is_union_of_posts_per_as(self, posts):
+        server = ServerDB(entry_ttl=None)
+        uuids = [server.register(now=float(i)) for i in range(4)]
+        expected = {1: set(), 2: set()}
+        for client_index, url_index, asn in posts:
+            url = f"http://u{url_index}.example/"
+            server.post_update(
+                uuids[client_index],
+                [ReportItem(url=url, asn=asn,
+                            stages=(BlockType.BLOCK_PAGE,), measured_at=0.0)],
+                now=1.0,
+            )
+            expected[asn].add(url)
+        for asn in (1, 2):
+            got = {e.url for e in server.blocked_for_as(asn, now=2.0)}
+            assert got == expected[asn]
+
+
+class TestLocalDbProperties:
+    ops = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # site
+            _paths,
+            st.sampled_from(
+                [None, BlockType.BLOCK_PAGE, BlockType.DNS_SERVFAIL]
+            ),
+        ),
+        max_size=25,
+    )
+
+    @given(ops)
+    def test_record_count_matches_index(self, operations):
+        db = LocalDatabase(ttl=1e9)
+        for site, path, block in operations:
+            url = f"http://s{site}.example{path}"
+            if block is None:
+                db.record_measurement(url, BlockStatus.NOT_BLOCKED, [])
+            else:
+                db.record_measurement(url, BlockStatus.BLOCKED, [block])
+        assert db.record_count == len(db._index)
+
+    @given(ops)
+    def test_hostname_scoped_blocking_collapses_origin(self, operations):
+        db = LocalDatabase(ttl=1e9)
+        for site, path, block in operations:
+            url = f"http://s{site}.example{path}"
+            if block is None:
+                db.record_measurement(url, BlockStatus.NOT_BLOCKED, [])
+            else:
+                db.record_measurement(url, BlockStatus.BLOCKED, [block])
+        # Any origin whose latest blocked evidence is hostname-scoped must
+        # have at most one record (at the base URL).
+        for site in range(3):
+            records = [
+                r for r in db.records()
+                if r.url.startswith(f"http://s{site}.example")
+            ]
+            scoped = [r for r in records if r.hostname_scoped]
+            for record in scoped:
+                assert record.url == f"http://s{site}.example/"

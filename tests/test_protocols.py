@@ -1,0 +1,366 @@
+"""Integration tests for the simulated protocol stack (DNS/TCP/TLS/HTTP)."""
+
+import pytest
+
+from repro.censor.actions import (
+    DnsAction,
+    DnsVerdict,
+    HttpAction,
+    HttpVerdict,
+    IpAction,
+    IpVerdict,
+    TlsAction,
+    TlsVerdict,
+)
+from repro.censor.policy import CensorPolicy, Matcher, Rule
+from repro.simnet.dns import DnsTimeout, NxDomain, Refused, ServFail, resolve
+from repro.simnet.http import HttpTimeout, http_exchange
+from repro.simnet.tcp import ConnectionReset, ConnectTimeout, tcp_connect
+from repro.simnet.tls import TlsTimeout, tls_handshake
+from repro.simnet.world import World
+
+
+def build_world(policy=None):
+    world = World(seed=11)
+    world.add_public_resolver()
+    isp = world.add_isp(100, "test-isp", policy=policy)
+    client, access = world.add_client("client", [isp])
+    world.web.add_site("www.ok.example", location="us-east")
+    world.web.add_page("http://www.ok.example/", size_bytes=50_000)
+    world.web.add_page("http://www.ok.example/page", size_bytes=20_000)
+    ctx = world.new_ctx(client, access)
+    return world, ctx
+
+
+def run(world, gen):
+    return world.run_process(gen)
+
+
+class TestDns:
+    def test_honest_resolution(self):
+        world, ctx = build_world()
+        ips = run(
+            world,
+            resolve(world.env, world.network, ctx, "www.ok.example",
+                    world.isp_resolver(ctx)),
+        )
+        assert ips == [world.network.hosts_by_name["www.ok.example"].ip]
+        assert 0 < world.env.now < 1.0
+
+    def test_nonexistent_domain_nxdomain(self):
+        world, ctx = build_world()
+
+        def proc():
+            with pytest.raises(NxDomain):
+                yield from resolve(
+                    world.env, world.network, ctx, "nope.example",
+                    world.isp_resolver(ctx),
+                )
+
+        run(world, proc())
+
+    @pytest.mark.parametrize(
+        "action,exc,min_t,max_t",
+        [
+            (DnsAction.SERVFAIL, ServFail, 9.0, 13.0),  # Table 5: 10.6s
+            (DnsAction.REFUSED, Refused, 0.0, 0.2),  # Table 5: 0.025s
+            (DnsAction.TIMEOUT, DnsTimeout, 9.0, 11.0),
+            (DnsAction.NXDOMAIN, NxDomain, 0.0, 0.2),
+        ],
+    )
+    def test_tampering_timing(self, action, exc, min_t, max_t):
+        policy = CensorPolicy()
+        policy.add_rule(
+            Rule(matcher=Matcher(domains={"bad.example"}), dns=DnsVerdict(action))
+        )
+        world, ctx = build_world(policy)
+        world.web.add_site("bad.example", location="us-east")
+
+        def proc():
+            with pytest.raises(exc):
+                yield from resolve(
+                    world.env, world.network, ctx, "bad.example",
+                    world.isp_resolver(ctx),
+                )
+
+        run(world, proc())
+        assert min_t <= world.env.now <= max_t
+
+    def test_redirect_returns_forged_address(self):
+        policy = CensorPolicy()
+        policy.add_rule(
+            Rule(
+                matcher=Matcher(domains={"bad.example"}),
+                dns=DnsVerdict(DnsAction.REDIRECT, redirect_ip="10.0.0.1"),
+            )
+        )
+        world, ctx = build_world(policy)
+        ips = run(
+            world,
+            resolve(world.env, world.network, ctx, "bad.example",
+                    world.isp_resolver(ctx)),
+        )
+        assert ips == ["10.0.0.1"]
+
+    def test_public_resolver_bypasses_resolver_scope_tampering(self):
+        policy = CensorPolicy()
+        policy.add_rule(
+            Rule(
+                matcher=Matcher(domains={"www.ok.example"}),
+                dns=DnsVerdict(DnsAction.NXDOMAIN, scope="resolver"),
+            )
+        )
+        world, ctx = build_world(policy)
+        ips = run(
+            world,
+            resolve(world.env, world.network, ctx, "www.ok.example",
+                    world.public_resolver),
+        )
+        assert ips  # honest answer via public DNS
+
+    def test_path_scope_tampering_hits_public_resolver_too(self):
+        policy = CensorPolicy()
+        policy.add_rule(
+            Rule(
+                matcher=Matcher(domains={"www.ok.example"}),
+                dns=DnsVerdict(DnsAction.NXDOMAIN, scope="path"),
+            )
+        )
+        world, ctx = build_world(policy)
+
+        def proc():
+            with pytest.raises(NxDomain):
+                yield from resolve(
+                    world.env, world.network, ctx, "www.ok.example",
+                    world.public_resolver,
+                )
+
+        run(world, proc())
+
+
+class TestTcp:
+    def test_successful_handshake(self):
+        world, ctx = build_world()
+        server_ip = world.network.hosts_by_name["www.ok.example"].ip
+        conn = run(world, tcp_connect(world.env, world.network, ctx, server_ip))
+        assert conn.dst_ip == server_ip
+        assert conn.rtt > 0
+
+    def test_blackhole_burns_syn_schedule(self):
+        policy = CensorPolicy()
+        world, ctx = build_world(policy)
+        server_ip = world.network.hosts_by_name["www.ok.example"].ip
+        policy.add_rule(
+            Rule(matcher=Matcher(ips={server_ip}), ip=IpVerdict(IpAction.DROP))
+        )
+
+        def proc():
+            with pytest.raises(ConnectTimeout):
+                yield from tcp_connect(world.env, world.network, ctx, server_ip)
+
+        run(world, proc())
+        assert world.env.now == pytest.approx(21.0)  # Table 5: 21s
+
+    def test_rst_injection_fails_fast(self):
+        policy = CensorPolicy()
+        world, ctx = build_world(policy)
+        server_ip = world.network.hosts_by_name["www.ok.example"].ip
+        policy.add_rule(
+            Rule(matcher=Matcher(ips={server_ip}), ip=IpVerdict(IpAction.RST))
+        )
+
+        def proc():
+            with pytest.raises(ConnectionReset):
+                yield from tcp_connect(world.env, world.network, ctx, server_ip)
+
+        run(world, proc())
+        assert world.env.now < 1.0
+
+    def test_connect_to_nowhere_times_out(self):
+        world, ctx = build_world()
+
+        def proc():
+            with pytest.raises(ConnectTimeout):
+                yield from tcp_connect(world.env, world.network, ctx, "10.9.9.9")
+
+        run(world, proc())
+
+
+class TestTlsAndHttp:
+    def make_conn(self, world, ctx, hostname="www.ok.example"):
+        server_ip = world.network.hosts_by_name[hostname].ip
+        return world.run_process(
+            tcp_connect(world.env, world.network, ctx, server_ip)
+        )
+
+    def test_tls_sni_drop(self):
+        policy = CensorPolicy()
+        policy.add_rule(
+            Rule(
+                matcher=Matcher(domains={"www.ok.example"}),
+                tls=TlsVerdict(TlsAction.DROP),
+            )
+        )
+        world, ctx = build_world(policy)
+        conn = self.make_conn(world, ctx)
+
+        def proc():
+            with pytest.raises(TlsTimeout):
+                yield from tls_handshake(world.env, ctx, conn, "www.ok.example")
+
+        run(world, proc())
+
+    def test_tls_fronted_sni_passes(self):
+        policy = CensorPolicy()
+        policy.add_rule(
+            Rule(
+                matcher=Matcher(domains={"www.ok.example"}),
+                tls=TlsVerdict(TlsAction.DROP),
+            )
+        )
+        world, ctx = build_world(policy)
+        conn = self.make_conn(world, ctx)
+        duration = run(
+            world, tls_handshake(world.env, ctx, conn, "www.front.example")
+        )
+        assert duration > 0
+
+    def test_http_200_with_page(self):
+        world, ctx = build_world()
+        conn = self.make_conn(world, ctx)
+        response = run(
+            world,
+            http_exchange(
+                world.env, world.network, world.web, ctx, conn,
+                "http", "www.ok.example", "/",
+            ),
+        )
+        assert response.status == 200
+        assert response.size_bytes == 50_000
+        assert not response.injected
+
+    def test_http_404_for_unknown_path(self):
+        world, ctx = build_world()
+        conn = self.make_conn(world, ctx)
+        response = run(
+            world,
+            http_exchange(
+                world.env, world.network, world.web, ctx, conn,
+                "http", "www.ok.example", "/missing",
+            ),
+        )
+        assert response.status == 404
+
+    def test_http_censor_drop_times_out(self):
+        policy = CensorPolicy()
+        policy.add_rule(
+            Rule(
+                matcher=Matcher(domains={"www.ok.example"}),
+                http=HttpVerdict(HttpAction.DROP),
+            )
+        )
+        world, ctx = build_world(policy)
+        conn = self.make_conn(world, ctx)
+
+        def proc():
+            start = world.env.now
+            with pytest.raises(HttpTimeout):
+                yield from http_exchange(
+                    world.env, world.network, world.web, ctx, conn,
+                    "http", "www.ok.example", "/",
+                )
+            assert world.env.now - start == pytest.approx(10.0)
+
+        run(world, proc())
+
+    def test_https_invisible_to_http_censor(self):
+        policy = CensorPolicy()
+        policy.add_rule(
+            Rule(
+                matcher=Matcher(domains={"www.ok.example"}),
+                http=HttpVerdict(HttpAction.DROP),
+            )
+        )
+        world, ctx = build_world(policy)
+        conn = self.make_conn(world, ctx)
+        response = run(
+            world,
+            http_exchange(
+                world.env, world.network, world.web, ctx, conn,
+                "https", "www.ok.example", "/",
+            ),
+        )
+        assert response.status == 200
+
+    def test_blockpage_redirect_injected(self):
+        policy = CensorPolicy()
+        world, ctx = build_world(policy)
+        blockpage = world.web.add_site("block.isp.example", location="pakistan")
+        world.web.add_page("http://block.isp.example/", size_bytes=1_000)
+        policy.add_rule(
+            Rule(
+                matcher=Matcher(domains={"www.ok.example"}),
+                http=HttpVerdict(
+                    HttpAction.BLOCKPAGE_REDIRECT, blockpage_ip=blockpage.host.ip
+                ),
+            )
+        )
+        conn = self.make_conn(world, ctx)
+        response = run(
+            world,
+            http_exchange(
+                world.env, world.network, world.web, ctx, conn,
+                "http", "www.ok.example", "/",
+            ),
+        )
+        assert response.status == 302
+        assert response.injected
+        assert response.location == "http://block.isp.example/"
+
+    def test_blockpage_iframe_injected(self):
+        policy = CensorPolicy()
+        world, ctx = build_world(policy)
+        blockpage = world.web.add_site("block2.isp.example", location="pakistan")
+        policy.add_rule(
+            Rule(
+                matcher=Matcher(domains={"www.ok.example"}),
+                http=HttpVerdict(
+                    HttpAction.BLOCKPAGE_IFRAME, blockpage_ip=blockpage.host.ip
+                ),
+            )
+        )
+        conn = self.make_conn(world, ctx)
+        response = run(
+            world,
+            http_exchange(
+                world.env, world.network, world.web, ctx, conn,
+                "http", "www.ok.example", "/",
+            ),
+        )
+        assert response.status == 200
+        assert response.injected
+        assert "<iframe" in response.html
+        assert response.size_bytes < 2_000
+
+    def test_transfer_time_scales_with_size(self):
+        world, ctx = build_world()
+        conn = self.make_conn(world, ctx)
+        t0 = world.env.now
+        run(
+            world,
+            http_exchange(
+                world.env, world.network, world.web, ctx, conn,
+                "http", "www.ok.example", "/page",
+            ),
+        )
+        small_elapsed = world.env.now - t0
+        t1 = world.env.now
+        run(
+            world,
+            http_exchange(
+                world.env, world.network, world.web, ctx, conn,
+                "http", "www.ok.example", "/",
+            ),
+        )
+        large_elapsed = world.env.now - t1
+        assert large_elapsed > small_elapsed

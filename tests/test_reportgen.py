@@ -1,0 +1,67 @@
+"""Tests for the experiment report generator."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.reportgen import collect_results, generate_report
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    (tmp_path / "test_table5_detection_times.txt").write_text(
+        "Table 5 — detection times\nrow | value\n---+---\na | 1\n"
+    )
+    (tmp_path / "test_fig1a_proxies.txt").write_text(
+        "Figure 1a — proxies\nbody here\n"
+    )
+    (tmp_path / "test_ablation_voting.txt").write_text(
+        "Ablation — voting\nbody\n"
+    )
+    (tmp_path / "empty.txt").write_text("")
+    return tmp_path
+
+
+class TestCollect:
+    def test_empty_files_skipped(self, results_dir):
+        results = collect_results(results_dir)
+        assert len(results) == 3
+
+    def test_paper_order(self, results_dir):
+        results = collect_results(results_dir)
+        names = [r.name for r in results]
+        assert names.index("test_fig1a_proxies") < names.index(
+            "test_table5_detection_times"
+        )
+        assert names[-1] == "test_ablation_voting"
+
+    def test_title_and_body_split(self, results_dir):
+        results = collect_results(results_dir)
+        table5 = next(r for r in results if "table5" in r.name)
+        assert table5.title.startswith("Table 5")
+        assert "row | value" in table5.body
+
+
+class TestGenerate:
+    def test_report_contains_every_artefact(self, results_dir):
+        report = generate_report(results_dir)
+        assert report.startswith("# C-Saw reproduction")
+        assert "## Table 5 — detection times" in report
+        assert "## Figure 1a — proxies" in report
+        assert report.count("```text") == 3
+
+    def test_empty_dir_message(self, tmp_path):
+        report = generate_report(tmp_path)
+        assert "No results found" in report
+
+    def test_cli_report_command(self, results_dir, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--results-dir", str(results_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1a" in out
+
+    def test_cli_report_missing_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--results-dir", str(tmp_path / "nope")]) == 1

@@ -1,0 +1,216 @@
+"""Tests for registration, report upload, and blocked-list download."""
+
+import pytest
+
+from repro.core import (
+    BlockStatus,
+    BlockType,
+    CSawClient,
+    CSawConfig,
+    RegistrationError,
+    ServerDB,
+)
+from repro.core.reporting import GlobalView, ensure_collector
+from repro.workloads.scenarios import pakistan_case_study
+
+
+@pytest.fixture()
+def scenario():
+    return pakistan_case_study(seed=101, with_proxy_fleet=False)
+
+
+def make_client(scenario, name, server, isp=None, report_via_tor=False, **kw):
+    report_transport = (
+        scenario.tor_transport(f"report/{name}") if report_via_tor else None
+    )
+    return CSawClient(
+        scenario.world,
+        name,
+        [isp or scenario.isp_a],
+        transports=scenario.make_transports(name),
+        server_db=server,
+        report_transport=report_transport,
+        **kw,
+    )
+
+
+class TestGlobalView:
+    def test_lookup_exact_and_base(self):
+        from repro.core.globaldb import GlobalEntry
+
+        view = GlobalView()
+        entry = GlobalEntry(
+            url="http://foo.com/",
+            asn=1,
+            stages=[BlockType.BLOCK_PAGE],
+            measured_at=0.0,
+            posted_at=0.0,
+            last_uuid="u",
+        )
+        view.replace([entry], now=1.0)
+        assert view.lookup("http://foo.com/") is entry
+        assert view.lookup("http://foo.com/deep/page") is entry
+        assert view.lookup("http://bar.com/") is None
+
+    def test_replace_overwrites(self):
+        view = GlobalView()
+        view.replace([], now=2.0)
+        assert len(view) == 0
+        assert view.last_synced == 2.0
+
+
+class TestRegistration:
+    def test_register_assigns_uuid_and_downloads(self, scenario):
+        server = ServerDB()
+        client = make_client(scenario, "r1", server)
+
+        def flow():
+            uuid = yield from client.install()
+            return uuid
+
+        uuid = scenario.world.run_process(flow())
+        assert uuid is not None
+        assert server.is_registered(uuid)
+        assert client.reporting.registered
+        assert client.global_view.last_synced is not None
+
+    def test_failed_captcha_raises(self, scenario):
+        server = ServerDB()
+        client = make_client(scenario, "r2", server)
+
+        def flow():
+            with pytest.raises(RegistrationError):
+                yield from client.install(captcha_passed=False)
+
+        scenario.world.run_process(flow())
+
+    def test_post_without_registration_rejected(self, scenario):
+        server = ServerDB()
+        client = make_client(scenario, "r3", server)
+
+        def flow():
+            with pytest.raises(RuntimeError):
+                yield from client.reporting.post_reports(client.new_ctx())
+
+        scenario.world.run_process(flow())
+
+
+class TestReportLifecycle:
+    def test_blocked_measurement_reaches_global_db(self, scenario):
+        server = ServerDB()
+        client = make_client(scenario, "l1", server)
+
+        def flow():
+            yield from client.install()
+            response = yield from client.request(scenario.urls["youtube"])
+            yield response.measurement_process
+            accepted = yield from client.reporting.post_reports(client.new_ctx())
+            return accepted
+
+        accepted = scenario.world.run_process(flow())
+        assert accepted == 1
+        entry = server.entry(scenario.urls["youtube"], scenario.isp_a.asn)
+        assert entry is not None
+        assert BlockType.BLOCK_PAGE in entry.stages
+        assert server.update_count == 1
+
+    def test_reports_not_reposted(self, scenario):
+        server = ServerDB()
+        client = make_client(scenario, "l2", server)
+
+        def flow():
+            yield from client.install()
+            response = yield from client.request(scenario.urls["youtube"])
+            yield response.measurement_process
+            first = yield from client.reporting.post_reports(client.new_ctx())
+            second = yield from client.reporting.post_reports(client.new_ctx())
+            return first, second
+
+        first, second = scenario.world.run_process(flow())
+        assert (first, second) == (1, 0)
+
+    def test_reports_over_tor_cost_more_time(self, scenario):
+        server = ServerDB()
+        direct_client = make_client(scenario, "l3", server)
+        tor_client = make_client(scenario, "l4", server, report_via_tor=True)
+
+        def time_post(client, url_key):
+            def flow():
+                yield from client.install()
+                response = yield from client.request(scenario.urls[url_key])
+                yield response.measurement_process
+                start = scenario.world.env.now
+                yield from client.reporting.post_reports(client.new_ctx())
+                return scenario.world.env.now - start
+
+            return scenario.world.run_process(flow())
+
+        direct_cost = time_post(direct_client, "youtube")
+        tor_cost = time_post(tor_client, "porn")
+        assert tor_cost > direct_cost
+
+    def test_periodic_loop_posts_and_downloads(self, scenario):
+        server = ServerDB()
+        config = CSawConfig(report_interval=100.0, download_interval=100.0)
+        client = make_client(scenario, "l5", server, config=config)
+        world = scenario.world
+
+        def flow():
+            yield from client.install()
+            response = yield from client.request(scenario.urls["youtube"])
+            yield response.measurement_process
+
+        world.run_process(flow())
+        downloads_before = client.reporting.downloads
+        client.start_background(until=world.env.now + 500)
+        world.env.run(until=world.env.now + 600)
+        assert client.reporting.reports_posted >= 1
+        assert client.reporting.downloads > downloads_before
+
+    def test_collector_site_idempotent(self, scenario):
+        url_a = ensure_collector(scenario.world)
+        url_b = ensure_collector(scenario.world)
+        assert url_a == url_b
+
+
+class TestCrowdsourcing:
+    def test_second_client_benefits_from_first(self, scenario):
+        """The crowdsourcing loop: user A measures, user B downloads and
+        circumvents immediately — richer data, better circumvention."""
+        server = ServerDB()
+        alice = make_client(scenario, "alice", server)
+        bob = make_client(scenario, "bob", server)
+        world = scenario.world
+
+        def flow():
+            yield from alice.install()
+            response = yield from alice.request(scenario.urls["youtube"])
+            yield response.measurement_process
+            yield from alice.reporting.post_reports(alice.new_ctx())
+            # Bob installs afterwards: registration pulls the blocked list.
+            yield from bob.install()
+            bob_response = yield from bob.request(scenario.urls["youtube"])
+            yield bob_response.measurement_process
+            return bob_response
+
+        bob_response = world.run_process(flow())
+        assert bob_response.ok
+        assert bob_response.status is BlockStatus.BLOCKED
+        assert len(bob.global_view) == 1
+
+    def test_cross_as_entries_not_shared(self, scenario):
+        server = ServerDB()
+        alice = make_client(scenario, "alice-a", server, isp=scenario.isp_a)
+        bob = make_client(scenario, "bob-b", server, isp=scenario.isp_b)
+        world = scenario.world
+
+        def flow():
+            yield from alice.install()
+            response = yield from alice.request(scenario.urls["youtube"])
+            yield response.measurement_process
+            yield from alice.reporting.post_reports(alice.new_ctx())
+            yield from bob.install()
+
+        world.run_process(flow())
+        # Bob is on ISP-B; Alice's ISP-A entry must not leak to him.
+        assert bob.global_view.lookup(scenario.urls["youtube"]) is None

@@ -1,0 +1,135 @@
+"""Unit tests for transports not covered by the integration suites:
+VPN, static-proxy fleet construction, Hold-On costs, IP-learning."""
+
+import pytest
+
+from repro.censor.actions import IpAction, IpVerdict
+from repro.censor.policy import Matcher, Rule
+from repro.circumvent import (
+    HoldOnTransport,
+    IpAsHostnameTransport,
+    PROXY_FLEET_SPEC,
+    VpnTransport,
+    build_proxy_fleet,
+)
+from repro.workloads.scenarios import pakistan_case_study
+
+
+@pytest.fixture()
+def scenario():
+    return pakistan_case_study(seed=777, with_proxy_fleet=False)
+
+
+def make_ctx(scenario, isp, name):
+    world = scenario.world
+    client, access = world.add_client(name, [isp])
+    return world.new_ctx(client, access, stream=f"tu/{name}")
+
+
+class TestVpn:
+    def test_vpn_tunnels_blocked_content(self, scenario):
+        world = scenario.world
+        endpoint = world.network.add_host("vpn-nl", "netherlands",
+                                          bandwidth_bps=40e6)
+        vpn = VpnTransport(endpoint)
+        assert vpn.provides_anonymity
+        assert vpn.uses_relay
+        assert vpn.name == "vpn:vpn-nl"
+        ctx = make_ctx(scenario, scenario.isp_b, "vpn-1")
+        result = world.run_process(
+            vpn.fetch(world, ctx, scenario.urls["youtube"])
+        )
+        assert result.ok
+        assert result.response.size_bytes == 360_000
+
+    def test_vpn_endpoint_blacklisted(self, scenario):
+        world = scenario.world
+        endpoint = world.network.add_host("vpn-blocked", "netherlands")
+        policy = world.network.ases[scenario.isp_a.asn].censor.policy
+        policy.add_rule(
+            Rule(matcher=Matcher(ips={endpoint.ip}),
+                 ip=IpVerdict(IpAction.DROP), label="vpn-kill")
+        )
+        vpn = VpnTransport(endpoint)
+        ctx = make_ctx(scenario, scenario.isp_a, "vpn-2")
+        result = world.run_process(
+            vpn.fetch(world, ctx, scenario.urls["youtube"])
+        )
+        assert result.failed
+        assert result.failure_stage == "tcp"
+        policy.remove_rules("vpn-kill")
+
+    def test_vpn_slower_than_plain_relay_setup(self, scenario):
+        """The VPN handshake overhead (1.5 RTT extra) shows up."""
+        world = scenario.world
+        host_a = world.network.add_host("vpn-fast", "netherlands",
+                                        jitter_sigma=0.0)
+        host_b = world.network.add_host("proxy-fast", "netherlands",
+                                        jitter_sigma=0.0)
+        from repro.circumvent import StaticProxyTransport
+
+        vpn = VpnTransport(host_a)
+        proxy = StaticProxyTransport(host_b)
+        ctx = make_ctx(scenario, scenario.isp_clean, "vpn-3")
+        url = scenario.urls["small-unblocked"]
+        vpn_result = world.run_process(vpn.fetch(world, ctx, url))
+        proxy_result = world.run_process(proxy.fetch(world, ctx, url))
+        assert vpn_result.ok and proxy_result.ok
+        assert vpn_result.elapsed > proxy_result.elapsed
+
+
+class TestProxyFleet:
+    def test_fleet_matches_spec(self, scenario):
+        fleet = build_proxy_fleet(scenario.world)
+        assert len(fleet) == len(PROXY_FLEET_SPEC)
+        labels = {t.proxy_host.tags["label"] for t in fleet}
+        assert {"UK", "Japan", "Germany-1", "US-3"} <= labels
+
+    def test_congested_proxies_carry_jitter(self, scenario):
+        fleet = build_proxy_fleet(
+            scenario.world,
+            specs=None,
+        )
+        by_label = {t.proxy_host.tags["label"]: t.proxy_host for t in fleet}
+        assert by_label["Germany-1"].jitter_sigma > by_label["Germany-2"].jitter_sigma
+        assert by_label["UK"].extra_rtt > by_label["Netherlands"].extra_rtt
+
+
+class TestHoldOnCosts:
+    def test_hold_on_adds_margin_on_clean_resolution(self, scenario):
+        """Quantified: Hold-On pays ~the configured margin per lookup."""
+        world = scenario.world
+        margin = world.dns_config.hold_on_margin
+        from repro.simnet.dns import resolve
+
+        ctx = make_ctx(scenario, scenario.isp_clean, "ho-1")
+        t0 = world.env.now
+        world.run_process(
+            resolve(world.env, world.network, ctx, "www.youtube.com",
+                    world.public_resolver, world.dns_config, hold_on=False)
+        )
+        plain = world.env.now - t0
+        t1 = world.env.now
+        world.run_process(
+            resolve(world.env, world.network, ctx, "www.youtube.com",
+                    world.public_resolver, world.dns_config, hold_on=True)
+        )
+        held = world.env.now - t1
+        assert held >= plain  # jitter aside, the margin dominates
+        assert held - plain <= margin + 0.3
+
+
+class TestIpLearning:
+    def test_learned_ip_overrides_authoritative(self, scenario):
+        transport = IpAsHostnameTransport()
+        transport.learn_ip("www.youtube.com", "100.200.200.200")
+        assert (
+            transport._ip_for(scenario.world, "www.youtube.com")
+            == "100.200.200.200"
+        )
+
+    def test_unknown_host_unavailable(self, scenario):
+        transport = IpAsHostnameTransport()
+        assert not transport.available_for(
+            scenario.world, "http://totally-unknown.example/"
+        )

@@ -1,0 +1,174 @@
+"""Tests for the voting ledger and the global database server."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.globaldb import RegistrationError, ReportItem, ServerDB
+from repro.core.records import BlockType
+from repro.core.voting import VotingLedger
+
+
+class TestVotingLedger:
+    def test_single_client_single_url_full_vote(self):
+        ledger = VotingLedger()
+        ledger.set_client_reports("c1", [("http://a.com/", 1)])
+        stats = ledger.stats("http://a.com/", 1)
+        assert stats.votes == pytest.approx(1.0)
+        assert stats.reporters == 1
+
+    def test_vote_spread_over_d_urls(self):
+        ledger = VotingLedger()
+        keys = [(f"http://u{i}.com/", 1) for i in range(4)]
+        ledger.set_client_reports("c1", keys)
+        for url, asn in keys:
+            assert ledger.stats(url, asn).votes == pytest.approx(0.25)
+
+    def test_spammer_dilutes_own_votes(self):
+        """A malicious client reporting many URLs gives each ~nothing,
+        while two honest clients beat it on the contested URL."""
+        ledger = VotingLedger()
+        spam = [(f"http://spam{i}.com/", 1) for i in range(100)]
+        ledger.set_client_reports("evil", spam + [("http://real.com/", 1)])
+        ledger.set_client_reports("honest-1", [("http://real.com/", 1)])
+        ledger.set_client_reports("honest-2", [("http://real.com/", 1)])
+        real = ledger.stats("http://real.com/", 1)
+        fake = ledger.stats("http://spam0.com/", 1)
+        assert real.votes > 2.0
+        assert fake.votes < 0.02
+        assert fake.reporters == 1
+
+    def test_adding_reports_renormalizes(self):
+        ledger = VotingLedger()
+        ledger.set_client_reports("c1", [("http://a.com/", 1)])
+        assert ledger.stats("http://a.com/", 1).votes == pytest.approx(1.0)
+        ledger.add_client_reports("c1", [("http://b.com/", 1)])
+        assert ledger.stats("http://a.com/", 1).votes == pytest.approx(0.5)
+        assert ledger.stats("http://b.com/", 1).votes == pytest.approx(0.5)
+
+    def test_per_as_entries_are_distinct(self):
+        ledger = VotingLedger()
+        ledger.set_client_reports("c1", [("http://a.com/", 1)])
+        assert ledger.stats("http://a.com/", 2).reporters == 0
+
+    def test_revoke_removes_influence(self):
+        ledger = VotingLedger()
+        ledger.set_client_reports("c1", [("http://a.com/", 1)])
+        ledger.revoke_client("c1")
+        assert ledger.stats("http://a.com/", 1).reporters == 0
+        assert ledger.client_count() == 0
+
+    @given(
+        st.dictionaries(
+            st.sampled_from([f"c{i}" for i in range(6)]),
+            st.lists(
+                st.sampled_from([(f"http://u{i}.com/", 1) for i in range(5)]),
+                max_size=5,
+                unique=True,
+            ),
+            max_size=6,
+        )
+    )
+    def test_total_vote_mass_bounded_by_client_count(self, assignments):
+        ledger = VotingLedger()
+        for client, keys in assignments.items():
+            ledger.set_client_reports(client, keys)
+        total = sum(
+            ledger.stats(f"http://u{i}.com/", 1).votes for i in range(5)
+        )
+        active = sum(1 for keys in assignments.values() if keys)
+        assert total == pytest.approx(active)
+
+
+class TestServerDB:
+    def make_reports(self, urls, asn=17557):
+        return [
+            ReportItem(
+                url=url,
+                asn=asn,
+                stages=(BlockType.BLOCK_PAGE,),
+                measured_at=1.0,
+            )
+            for url in urls
+        ]
+
+    def test_registration_issues_unique_uuids(self):
+        server = ServerDB()
+        uuids = {server.register(now=float(i)) for i in range(50)}
+        assert len(uuids) == 50
+        assert server.client_count == 50
+
+    def test_failed_captcha_rejected(self):
+        server = ServerDB()
+        with pytest.raises(RegistrationError):
+            server.register(now=0.0, captcha_passed=False)
+        assert server.rejected_registrations == 1
+
+    def test_unregistered_client_cannot_post(self):
+        server = ServerDB()
+        with pytest.raises(RegistrationError):
+            server.post_update("nope", self.make_reports(["http://a.com/"]), 1.0)
+
+    def test_post_and_download_roundtrip(self):
+        server = ServerDB()
+        uuid = server.register(now=0.0)
+        accepted = server.post_update(
+            uuid, self.make_reports(["http://a.com/", "http://b.com/"]), now=5.0
+        )
+        assert accepted == 2
+        entries = server.blocked_for_as(17557, now=6.0)
+        assert {e.url for e in entries} == {"http://a.com/", "http://b.com/"}
+        assert all(e.posted_at == 5.0 for e in entries)
+        assert server.blocked_for_as(999, now=6.0) == []
+
+    def test_repeat_posts_merge_stages(self):
+        server = ServerDB()
+        uuid = server.register(now=0.0)
+        server.post_update(uuid, self.make_reports(["http://a.com/"]), now=1.0)
+        server.post_update(
+            uuid,
+            [
+                ReportItem(
+                    url="http://a.com/",
+                    asn=17557,
+                    stages=(BlockType.DNS_SERVFAIL,),
+                    measured_at=2.0,
+                )
+            ],
+            now=2.0,
+        )
+        entry = server.entry("http://a.com/", 17557)
+        assert BlockType.BLOCK_PAGE in entry.stages
+        assert BlockType.DNS_SERVFAIL in entry.stages
+        assert server.update_count == 2
+
+    def test_confidence_filter_blocks_lone_spammer(self):
+        server = ServerDB()
+        evil = server.register(now=0.0)
+        honest = [server.register(now=float(i + 1)) for i in range(3)]
+        spam_urls = [f"http://spam{i}.com/" for i in range(50)]
+        server.post_update(evil, self.make_reports(spam_urls), now=2.0)
+        for uuid in honest:
+            server.post_update(uuid, self.make_reports(["http://real.com/"]), now=3.0)
+
+        trusting = server.blocked_for_as(17557, now=4.0)
+        assert len(trusting) == 51  # no filter: spam included
+        careful = server.blocked_for_as(17557, now=4.0, min_reporters=2)
+        assert [e.url for e in careful] == ["http://real.com/"]
+        by_votes = server.blocked_for_as(17557, now=4.0, min_votes=0.5)
+        assert [e.url for e in by_votes] == ["http://real.com/"]
+
+    def test_entry_ttl_expires_stale_reports(self):
+        server = ServerDB(entry_ttl=100.0)
+        uuid = server.register(now=0.0)
+        server.post_update(uuid, self.make_reports(["http://a.com/"]), now=1.0)
+        assert server.blocked_for_as(17557, now=50.0)
+        assert server.blocked_for_as(17557, now=200.0) == []
+
+    def test_revoke_drops_client_and_votes(self):
+        server = ServerDB()
+        uuid = server.register(now=0.0)
+        server.post_update(uuid, self.make_reports(["http://a.com/"]), now=1.0)
+        server.revoke(uuid)
+        assert not server.is_registered(uuid)
+        assert server.stats_for("http://a.com/", 17557).reporters == 0

@@ -1,0 +1,224 @@
+"""Unit tests for the web model, World facade, flow context, and relay
+machinery."""
+
+import pytest
+
+from repro.censor.actions import IpAction, IpVerdict
+from repro.censor.policy import CensorPolicy, Matcher, Rule
+from repro.circumvent.relay import relay_fetch
+from repro.simnet.flow import ClientLoadTracker, FlowContext
+from repro.simnet.web import EmbeddedRef, WebPage, make_normal_html
+from repro.simnet.world import World
+
+
+@pytest.fixture()
+def world():
+    w = World(seed=3)
+    w.add_public_resolver()
+    w.add_isp(100, "isp", policy=CensorPolicy())
+    return w
+
+
+class TestWebModel:
+    def test_vhost_selection(self, world):
+        shared = world.network.add_host("shared-server", "us-east")
+        a = world.web.add_site("a.example", location="us-east", host=shared)
+        b = world.web.add_site("b.example", location="us-east", host=shared)
+        world.web.add_page("http://a.example/", size_bytes=1000)
+        world.web.add_page("http://b.example/", size_bytes=2000)
+        page_a = world.web.page_for(shared, "a.example", "/")
+        page_b = world.web.page_for(shared, "b.example", "/")
+        assert page_a.size_bytes == 1000
+        assert page_b.size_bytes == 2000
+        # Unknown vhost on a multi-site server: no default.
+        assert world.web.page_for(shared, "c.example", "/") is None
+
+    def test_default_vhost_on_single_site_server(self, world):
+        site = world.web.add_site("solo.example", location="us-east")
+        world.web.add_page("http://solo.example/", size_bytes=500)
+        # Host header carries an IP (ip-as-hostname): default site answers.
+        page = world.web.page_for(site.host, site.host.ip, "/")
+        assert page is not None and page.size_bytes == 500
+
+    def test_catch_all_site(self, world):
+        site = world.web.add_site(
+            "cdn.example", location="global-anycast",
+            catch_all=lambda path: WebPage(
+                url=f"http://cdn.example{path}", size_bytes=123
+            ),
+        )
+        assert site.page("/anything/else.jpg").size_bytes == 123
+
+    def test_duplicate_site_rejected(self, world):
+        world.web.add_site("dup.example", location="uk")
+        with pytest.raises(ValueError):
+            world.web.add_site("dup.example", location="uk")
+
+    def test_page_must_belong_to_site(self, world):
+        world.web.add_site("mine.example", location="uk")
+        with pytest.raises(ValueError):
+            world.web.add_page("http://other.example/", size_bytes=10)
+
+    def test_page_size_validation(self, world):
+        world.web.add_site("size.example", location="uk")
+        with pytest.raises(ValueError):
+            world.web.add_page("http://size.example/", size_bytes=0)
+
+    def test_total_bytes_includes_embedded(self):
+        page = WebPage(
+            url="http://x.example/",
+            size_bytes=1000,
+            embedded=[EmbeddedRef("http://cdn.example/a", 300),
+                      EmbeddedRef("http://cdn.example/b", 200)],
+        )
+        assert page.total_bytes == 1500
+
+    def test_auto_html_generated(self, world):
+        world.web.add_site("auto.example", location="uk")
+        page = world.web.add_page("http://auto.example/news", size_bytes=1000)
+        assert "auto.example" in page.html
+        assert "<html>" in page.html
+
+    def test_normal_html_mentions_embedded(self):
+        html = make_normal_html(
+            "h.example", "/", [EmbeddedRef("http://cdn.example/x.jpg", 10)]
+        )
+        assert "http://cdn.example/x.jpg" in html
+
+    def test_site_dns_registered(self, world):
+        site = world.web.add_site("dnsreg.example", location="uk")
+        assert world.network.authoritative_ips("dnsreg.example") == [
+            site.host.ip
+        ]
+
+
+class TestWorldFacade:
+    def test_transit_as_idempotent(self, world):
+        a = world.transit_as()
+        b = world.transit_as()
+        assert a is b
+        assert world.resolvers[a.asn].kind == "isp"
+
+    def test_relay_ctx_is_uncensored(self, world):
+        relay = world.network.add_host("relay-x", "uk")
+        ctx = world.relay_ctx(relay)
+        assert ctx.middlebox is None
+        assert ctx.client is relay
+
+    def test_isp_resolver_missing_raises(self, world):
+        isp = world.network.add_as(999, "bare", "pakistan")
+        client, access = world.add_client("c1", [isp])
+        ctx = world.new_ctx(client, access)
+        with pytest.raises(KeyError):
+            world.isp_resolver(ctx)
+
+    def test_duplicate_isp_rejected(self, world):
+        with pytest.raises(ValueError):
+            world.add_isp(100, "again")
+
+    def test_run_process_returns_value(self, world):
+        def proc():
+            yield world.env.timeout(1)
+            return "done"
+
+        assert world.run_process(proc()) == "done"
+
+
+class TestFlowContext:
+    def test_for_new_flow_picks_isp(self, world):
+        isp = world.network.ases[100]
+        client, access = world.add_client("fc", [isp])
+        ctx = FlowContext.for_new_flow(client, access, world.rngs.stream("fc"))
+        assert ctx.isp is isp
+        assert ctx.middlebox is isp.censor
+
+    def test_with_isp_keeps_load(self, world):
+        isp = world.network.ases[100]
+        other = world.network.add_as(101, "other", "pakistan")
+        client, access = world.add_client("fc2", [isp])
+        ctx = FlowContext.for_new_flow(client, access, world.rngs.stream("fc2"))
+        pinned = ctx.with_isp(other)
+        assert pinned.isp is other
+        assert pinned.load is ctx.load
+        assert pinned.client is ctx.client
+
+    def test_load_tracker_factor_shape(self):
+        tracker = ClientLoadTracker(penalty=0.2, capacity=3, max_factor=2.0)
+        assert tracker.factor() == 1.0
+        tracker.enter()
+        assert tracker.factor() == 1.0  # one request: no contention
+        tracker.enter()
+        two = tracker.factor()
+        tracker.enter()
+        three = tracker.factor()
+        assert 1.0 < two < three <= 2.0
+        for _ in range(3):
+            tracker.exit()
+        with pytest.raises(RuntimeError):
+            tracker.exit()
+
+    def test_load_factor_saturates(self):
+        tracker = ClientLoadTracker(max_factor=1.5)
+        for _ in range(50):
+            tracker.enter()
+        assert tracker.factor() == 1.5
+        assert tracker.peak == 50
+
+
+class TestRelayFetch:
+    def make_world(self):
+        world = World(seed=8)
+        world.add_public_resolver()
+        policy = CensorPolicy()
+        isp = world.add_isp(200, "isp", policy=policy)
+        world.web.add_site("origin.example", location="us-east")
+        world.web.add_page("http://origin.example/", size_bytes=100_000)
+        relay = world.network.add_host(
+            "relay-host", "netherlands", bandwidth_bps=50e6
+        )
+        client, access = world.add_client("rc", [isp])
+        ctx = world.new_ctx(client, access)
+        return world, policy, relay, ctx
+
+    def test_relay_fetch_succeeds(self):
+        world, _policy, relay, ctx = self.make_world()
+        result = world.run_process(
+            relay_fetch(world, ctx, "http://origin.example/", relay,
+                        transport_name="test-relay")
+        )
+        assert result.ok
+        assert result.transport == "test-relay"
+        assert result.response.size_bytes == 100_000
+
+    def test_relay_blocked_by_censor(self):
+        world, policy, relay, ctx = self.make_world()
+        policy.add_rule(
+            Rule(matcher=Matcher(ips={relay.ip}), ip=IpVerdict(IpAction.DROP))
+        )
+        result = world.run_process(
+            relay_fetch(world, ctx, "http://origin.example/", relay,
+                        transport_name="test-relay")
+        )
+        assert result.failed
+        assert result.failure_stage == "tcp"
+
+    def test_bandwidth_cap_slows_transfer(self):
+        world, _policy, relay, ctx = self.make_world()
+        fast = world.run_process(
+            relay_fetch(world, ctx, "http://origin.example/", relay,
+                        transport_name="fast")
+        )
+        slow = world.run_process(
+            relay_fetch(world, ctx, "http://origin.example/", relay,
+                        transport_name="slow", bandwidth_cap_bps=0.5e6)
+        )
+        assert slow.elapsed > fast.elapsed
+
+    def test_origin_failure_surfaced(self):
+        world, _policy, relay, ctx = self.make_world()
+        result = world.run_process(
+            relay_fetch(world, ctx, "http://no-such-origin.example/", relay,
+                        transport_name="test-relay")
+        )
+        assert result.failed
+        assert result.failure_stage == "dns"

@@ -1,0 +1,226 @@
+"""Tests for the workload generators: corpus, pilot, events, ONI sweep."""
+
+import random
+
+import pytest
+
+from repro.workloads.corpus import build_corpus
+from repro.workloads.events import BlockingWave
+from repro.workloads.oni import FIG2_CATEGORIES, OniSweep
+from repro.workloads.pilot import PilotConfig, PilotStudy
+from repro.simnet.world import World
+
+
+class TestCorpus:
+    def test_deterministic_in_seed(self):
+        a = build_corpus(n_sites=50, seed=3)
+        b = build_corpus(n_sites=50, seed=3)
+        assert [s.hostname for s in a.sites] == [s.hostname for s in b.sites]
+        c = build_corpus(n_sites=50, seed=4)
+        assert [s.hostname for s in a.sites] != [s.hostname for s in c.sites]
+
+    def test_category_mix_roughly_respected(self):
+        corpus = build_corpus(n_sites=400, seed=1)
+        porn = len(corpus.sites_in_category("porn"))
+        assert 0.04 * 400 <= porn <= 0.2 * 400
+
+    def test_zipf_sampling_prefers_top_ranks(self):
+        corpus = build_corpus(n_sites=200, seed=2)
+        rng = random.Random(9)
+        top = sum(
+            1 for _ in range(2000) if corpus.sample_site(rng).rank <= 20
+        )
+        assert top > 400  # far more than the uniform 10 %
+
+    def test_materialize_creates_sites_and_cdns(self):
+        corpus = build_corpus(n_sites=30, seed=5)
+        world = World(seed=5)
+        corpus.materialize(world)
+        for site in corpus.sites[:5]:
+            assert world.web.site_for(site.hostname) is not None
+        for cdn in corpus.cdn_hostnames:
+            cdn_site = world.web.site_for(cdn)
+            assert cdn_site is not None
+            assert cdn_site.page("/whatever/object.jpg") is not None
+
+    def test_materialize_idempotent(self):
+        corpus = build_corpus(n_sites=10, seed=5)
+        world = World(seed=5)
+        corpus.materialize(world)
+        corpus.materialize(world)  # must not raise on duplicates
+
+    def test_domains_in_categories(self):
+        corpus = build_corpus(n_sites=100, seed=6)
+        blocked = corpus.domains_in_categories(("porn", "political"))
+        assert blocked
+        assert all(
+            any(cat in d for cat in ("porn", "political")) for d in blocked
+        )
+
+
+class TestPilotSmall:
+    @pytest.fixture(scope="class")
+    def report_and_study(self):
+        study = PilotStudy(
+            PilotConfig(
+                seed=11,
+                n_users=12,
+                n_sites=200,
+                requests_per_user=25,
+                duration_days=20,
+                n_ases=6,
+            )
+        )
+        report = study.run()
+        return report, study
+
+    def test_all_users_registered(self, report_and_study):
+        report, _study = report_and_study
+        assert report.users == 12
+
+    def test_blocked_urls_discovered(self, report_and_study):
+        report, _study = report_and_study
+        assert report.unique_blocked_urls > 10
+        assert report.unique_blocked_domains > 5
+        assert report.unique_ases == 6
+
+    def test_blockpage_most_common_then_dns(self, report_and_study):
+        """§7.4: block pages are the majority mechanism, DNS second."""
+        report, _study = report_and_study
+        assert report.urls_blockpage > report.urls_dns_blocked
+        assert report.urls_dns_blocked > report.urls_tcp_timeout
+
+    def test_multiple_block_types_observed(self, report_and_study):
+        report, _study = report_and_study
+        assert report.distinct_block_types >= 4
+
+    def test_cdn_blocking_discovered_via_embedded_objects(self, report_and_study):
+        report, _study = report_and_study
+        assert report.cdn_domains_detected >= 1
+
+    def test_updates_flow_to_server(self, report_and_study):
+        report, study = report_and_study
+        assert report.unique_updates >= report.unique_blocked_urls
+        assert study.server.update_count == report.unique_updates
+
+
+class TestBlockingWave:
+    def test_wave_detects_all_five_events(self):
+        wave = BlockingWave(seed=6, users_per_as=3)
+        observations = wave.run()
+        assert len(observations) == 5
+        services = {(o.service, o.asn) for o in observations}
+        assert ("Twitter", 38193) in services
+        assert ("Twitter", 17557) in services
+        assert sum(1 for o in observations if o.service == "Instagram") == 3
+
+    def test_detection_lags_blocking_onset(self):
+        wave = BlockingWave(seed=6, users_per_as=3)
+        observations = wave.run()
+        onsets = {
+            (e.asn, "Twitter" if "twitter" in e.domain else "Instagram"): e.time
+            for e in wave.events
+        }
+        for obs in observations:
+            onset = onsets[(obs.asn, obs.service)]
+            assert obs.detected_at >= onset
+            # Users browse every ~30 min: detection within a few hours.
+            assert obs.detected_at - onset < 6 * 3600.0
+
+    def test_mechanism_labels_match_paper_vocabulary(self):
+        wave = BlockingWave(seed=6, users_per_as=3)
+        observations = wave.run()
+        by_asn = {
+            (o.asn, o.service): o.symptom for o in observations
+        }
+        assert by_asn[(38193, "Twitter")] == "HTTP_GET_TIMEOUT"
+        assert by_asn[(17557, "Twitter")] == "HTTP_GET_BLOCKPAGE"
+        for asn in (38193, 59257, 45773):
+            assert by_asn[(asn, "Instagram")] == "DNS blocking"
+
+
+class TestOniSweep:
+    @pytest.fixture(scope="class")
+    def sweep_results(self):
+        sweep = OniSweep(seed=17, domains_per_as=40)
+        measured = sweep.run()
+        return measured, sweep.ground_truth()
+
+    def test_all_ases_measured(self, sweep_results):
+        measured, truth = sweep_results
+        assert set(measured) == set(truth)
+
+    def test_fractions_sum_to_one(self, sweep_results):
+        measured, _truth = sweep_results
+        for asn, mix in measured.items():
+            assert sum(mix.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_dominant_category_matches_ground_truth(self, sweep_results):
+        measured, truth = sweep_results
+        for asn in truth:
+            expected = max(truth[asn], key=truth[asn].get)
+            observed = max(measured[asn], key=measured[asn].get)
+            assert observed == expected, f"AS{asn}: {measured[asn]}"
+
+    def test_heterogeneity_across_ases(self, sweep_results):
+        """The figure's point: mixes differ across ASes/countries."""
+        measured, _truth = sweep_results
+        dominants = {
+            max(mix, key=mix.get) for mix in measured.values()
+        }
+        assert len(dominants) >= 3
+
+    def test_bad_mix_rejected(self):
+        from repro.workloads.oni import OniAsSpec
+
+        with pytest.raises(ValueError):
+            OniAsSpec(1, "X", (0.5, 0.5, 0.5, 0.0, 0.0))
+
+
+class TestStaggeredRollout:
+    def test_events_cover_all_pairs(self):
+        import random
+
+        from repro.workloads.events import staggered_rollout
+
+        events = staggered_rollout(
+            ["a.example", "b.example"], [1, 2, 3], start=100.0, lag=3600.0,
+            rng=random.Random(4),
+        )
+        assert len(events) == 6
+        assert {(e.asn, e.domain) for e in events} == {
+            (asn, d) for asn in (1, 2, 3) for d in ("a.example", "b.example")
+        }
+
+    def test_per_as_lag_within_bounds_and_uneven(self):
+        import random
+
+        from repro.workloads.events import staggered_rollout
+
+        events = staggered_rollout(
+            ["a.example"], list(range(8)), start=0.0, lag=7200.0,
+            rng=random.Random(9),
+        )
+        times = sorted(e.time for e in events)
+        assert all(0.0 <= t <= 7200.0 for t in times)
+        assert len(set(times)) > 1  # genuinely staggered
+
+    def test_rollout_drives_blocking_wave(self):
+        """A staggered directive replayed through the wave machinery: the
+        global DB's first-detection times reflect the per-AS lag order."""
+        import random
+
+        from repro.workloads.events import BlockingWave, staggered_rollout
+
+        wave = BlockingWave(seed=12, users_per_as=3, duration=30 * 3600.0)
+        events = staggered_rollout(
+            ["twitter.com"], list(wave.DEFAULT_ASNS), start=8 * 3600.0,
+            lag=6 * 3600.0, mechanism="blockpage", rng=random.Random(2),
+        )
+        wave.build(events=events)
+        observations = wave.run()
+        assert len(observations) == len(wave.DEFAULT_ASNS)
+        onset = {e.asn: e.time for e in events}
+        for obs in observations:
+            assert obs.detected_at >= onset[obs.asn]
+            assert obs.symptom == "HTTP_GET_BLOCKPAGE"
