@@ -26,6 +26,7 @@ from repro.core import (
     ServerDB,
 )
 from repro.core.records import BlockType
+from repro.runner import TrialSpec, merge_values, run_trials
 from repro.workloads.scenarios import pakistan_case_study
 
 
@@ -80,46 +81,54 @@ def test_ablation_selective_redundancy(benchmark, report):
 
 # --- 2. exploration ---------------------------------------------------------
 
+def _exploration_arm(explore_n):
+    """One independent arm: fresh scenario, one exploration setting."""
+    scenario = pakistan_case_study(seed=602, with_proxy_fleet=False)
+    world = scenario.world
+    url = scenario.urls["youtube"]
+    client = CSawClient(
+        world, f"ab2-{explore_n}", [scenario.isp_b],
+        transports=scenario.make_transports(
+            f"ab2-{explore_n}", include=["tor", "lantern"]
+        ),
+        config=CSawConfig(explore_every_n=explore_n,
+                          probe_probability=0.0),
+    )
+    # Phase 1: Lantern's trusted proxies are overloaded -> Tor looks
+    # better and the EWMA locks onto it.
+    lantern_hosts = [p for p in scenario.lantern.proxies]
+    saved = [(h.extra_rtt, h.bandwidth_bps) for h in lantern_hosts]
+    for host in lantern_hosts:
+        host.extra_rtt = 3.0
+        host.bandwidth_bps = 1e6
+
+    def one(plts):
+        response = yield from client.request(url)
+        plts.append(response.plt)
+        yield response.measurement_process
+
+    warmup = []
+    for _ in range(10):
+        world.run_process(one(warmup))
+    # Phase 2: the proxies recover; only exploration can notice.
+    for host, (extra, bw) in zip(lantern_hosts, saved):
+        host.extra_rtt = extra
+        host.bandwidth_bps = bw
+    after = []
+    for _ in range(60):
+        world.run_process(one(after))
+    return after[20:]  # steady state after recovery
+
+
 def run_exploration():
-    results = {}
-    for explore_n, label in ((5, "with exploration (n=5)"),
-                             (10**6, "no exploration")):
-        scenario = pakistan_case_study(seed=602, with_proxy_fleet=False)
-        world = scenario.world
-        url = scenario.urls["youtube"]
-        client = CSawClient(
-            world, f"ab2-{explore_n}", [scenario.isp_b],
-            transports=scenario.make_transports(
-                f"ab2-{explore_n}", include=["tor", "lantern"]
-            ),
-            config=CSawConfig(explore_every_n=explore_n,
-                              probe_probability=0.0),
-        )
-        # Phase 1: Lantern's trusted proxies are overloaded -> Tor looks
-        # better and the EWMA locks onto it.
-        lantern_hosts = [p for p in scenario.lantern.proxies]
-        saved = [(h.extra_rtt, h.bandwidth_bps) for h in lantern_hosts]
-        for host in lantern_hosts:
-            host.extra_rtt = 3.0
-            host.bandwidth_bps = 1e6
-
-        def one(plts):
-            response = yield from client.request(url)
-            plts.append(response.plt)
-            yield response.measurement_process
-
-        warmup = []
-        for _ in range(10):
-            world.run_process(one(warmup))
-        # Phase 2: the proxies recover; only exploration can notice.
-        for host, (extra, bw) in zip(lantern_hosts, saved):
-            host.extra_rtt = extra
-            host.bandwidth_bps = bw
-        after = []
-        for _ in range(60):
-            world.run_process(one(after))
-        results[label] = after[20:]  # steady state after recovery
-    return results
+    # The two arms share nothing, so fan them out through the runner.
+    specs = [
+        TrialSpec(name=label, fn=_exploration_arm,
+                  kwargs={"explore_n": explore_n})
+        for explore_n, label in ((5, "with exploration (n=5)"),
+                                 (10**6, "no exploration"))
+    ]
+    return merge_values(run_trials(specs))
 
 
 def test_ablation_exploration(benchmark, report):
@@ -139,59 +148,66 @@ def test_ablation_exploration(benchmark, report):
 
 # --- 3. multihoming pinning ---------------------------------------------------
 
-def run_multihoming():
-    results = {}
-    for pin, label in ((True, "with pinning (C-Saw)"), (False, "no pinning")):
-        scenario = pakistan_case_study(seed=603, with_proxy_fleet=False)
-        world = scenario.world
-        url = "http://only-a.example.com/"
-        world.web.add_site("only-a.example.com", location="us-east")
-        world.web.add_page(url, size_bytes=120_000)
-        policy = world.network.ases[scenario.isp_a.asn].censor.policy
-        policy.add_rule(
-            Rule(
-                matcher=Matcher(domains={"only-a.example.com"}),
-                http=HttpVerdict(
-                    HttpAction.BLOCKPAGE_REDIRECT,
-                    blockpage_ip=scenario.blockpage_a.ip,
-                ),
-            )
-        )
-        # Relay-only transports: a local fix would ride the direct path
-        # through either provider and mask the oscillation entirely.
-        client = CSawClient(
-            world, f"ab3-{pin}", [scenario.isp_a, scenario.isp_b],
-            transports=scenario.make_transports(
-                f"ab3-{pin}", include=["tor", "lantern"]
+def _multihoming_arm(pin):
+    """One independent arm: fresh scenario, pinning on or off."""
+    scenario = pakistan_case_study(seed=603, with_proxy_fleet=False)
+    world = scenario.world
+    url = "http://only-a.example.com/"
+    world.web.add_site("only-a.example.com", location="us-east")
+    world.web.add_page(url, size_bytes=120_000)
+    policy = world.network.ases[scenario.isp_a.asn].censor.policy
+    policy.add_rule(
+        Rule(
+            matcher=Matcher(domains={"only-a.example.com"}),
+            http=HttpVerdict(
+                HttpAction.BLOCKPAGE_REDIRECT,
+                blockpage_ip=scenario.blockpage_a.ip,
             ),
-            config=CSawConfig(probe_probability=1.0),
         )
-        if not pin:
-            client.measurement.multihoming = None  # ablation
+    )
+    # Relay-only transports: a local fix would ride the direct path
+    # through either provider and mask the oscillation entirely.
+    client = CSawClient(
+        world, f"ab3-{pin}", [scenario.isp_a, scenario.isp_b],
+        transports=scenario.make_transports(
+            f"ab3-{pin}", include=["tor", "lantern"]
+        ),
+        config=CSawConfig(probe_probability=1.0),
+    )
+    if not pin:
+        client.measurement.multihoming = None  # ablation
 
-        def warm():
-            for _ in range(10):
-                yield from client.multihoming.probe_once(client.new_ctx())
+    def warm():
+        for _ in range(10):
+            yield from client.multihoming.probe_once(client.new_ctx())
 
-        world.run_process(warm())
-        flips = []
-        last_status = None
+    world.run_process(warm())
+    flips = []
+    last_status = None
 
-        def one(plts):
-            nonlocal last_status
-            response = yield from client.request(url)
-            plts.append(response.plt)
-            yield response.measurement_process
-            status = client.local_db.lookup(url)[0]
-            if last_status is not None and status is not last_status:
-                flips.append(world.env.now)
-            last_status = status
+    def one(plts):
+        nonlocal last_status
+        response = yield from client.request(url)
+        plts.append(response.plt)
+        yield response.measurement_process
+        status = client.local_db.lookup(url)[0]
+        if last_status is not None and status is not last_status:
+            flips.append(world.env.now)
+        last_status = status
 
-        plts = []
-        for _ in range(40):
-            world.run_process(one(plts))
-        results[label] = (len(flips), mean(plts[5:]))
-    return results
+    plts = []
+    for _ in range(40):
+        world.run_process(one(plts))
+    return (len(flips), mean(plts[5:]))
+
+
+def run_multihoming():
+    specs = [
+        TrialSpec(name=label, fn=_multihoming_arm, kwargs={"pin": pin})
+        for pin, label in ((True, "with pinning (C-Saw)"),
+                           (False, "no pinning"))
+    ]
+    return merge_values(run_trials(specs))
 
 
 def test_ablation_multihoming_pinning(benchmark, report):

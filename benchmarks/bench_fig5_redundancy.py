@@ -25,6 +25,7 @@ from repro.censor.actions import (
 )
 from repro.censor.policy import Matcher, Rule
 from repro.core import CSawClient, CSawConfig
+from repro.runner import TrialSpec, merge_values, run_trials
 from repro.workloads.scenarios import pakistan_case_study
 
 # Figure 5a page sizes per blocking type (from the figure's annotations).
@@ -139,7 +140,20 @@ def test_fig5a_serial_vs_parallel_blocked_pages(benchmark, report):
     assert max(reductions.values()) >= 0.5
 
 
-def run_fig5bc(size_key):
+_FIG5BC_MODES = {
+    "1 copy": dict(max_redundant_requests=1, aggregation_enabled=False),
+    "2 copies": dict(max_redundant_requests=2, aggregation_enabled=False),
+    "2 copies (with delay)": dict(
+        max_redundant_requests=2,
+        redundant_delay=2.0,
+        aggregation_enabled=False,
+    ),
+}
+
+
+def _fig5bc_arm(size_key, label, mode_index, config_kwargs):
+    """One redundancy mode on its own fresh scenario (same seed, so all
+    modes see identical topology/web state and differ only in config)."""
     scenario = pakistan_case_study(seed=202, with_proxy_fleet=False)
     world = scenario.world
     hostname = f"fig5-{size_key}.example.com"
@@ -154,46 +168,47 @@ def run_fig5bc(size_key):
             url=f"http://{hostname}{path}", size_bytes=size
         ),
     )
-
-    modes = {
-        "1 copy": CSawConfig(max_redundant_requests=1, aggregation_enabled=False),
-        "2 copies": CSawConfig(max_redundant_requests=2, aggregation_enabled=False),
-        "2 copies (with delay)": CSawConfig(
-            max_redundant_requests=2,
-            redundant_delay=2.0,
-            aggregation_enabled=False,
+    client = CSawClient(
+        world,
+        f"f5bc-{size_key}-mode{mode_index}",
+        [scenario.isp_a],
+        transports=scenario.make_transports(
+            f"f5bc-{size_key}-{label}", include=["tor"]
         ),
-    }
-    series = {}
-    for index, (label, config) in enumerate(modes.items()):
-        client = CSawClient(
-            world,
-            f"f5bc-{size_key}-mode{index}",
-            [scenario.isp_a],
-            transports=scenario.make_transports(
-                f"f5bc-{size_key}-{label}", include=["tor"]
-            ),
-            config=config,
+        config=CSawConfig(**config_kwargs),
+    )
+    rng = world.rngs.stream(f"fig5bc/{size_key}/{label}")
+    plts = []
+
+    def request_one(index):
+        response = yield from client.request(
+            f"http://{hostname}/page-{index}"
         )
-        rng = world.rngs.stream(f"fig5bc/{size_key}/{label}")
-        plts = []
+        plts.append(response.plt)
+        yield response.measurement_process
 
-        def request_one(index):
-            response = yield from client.request(
-                f"http://{hostname}/page-{index}"
-            )
-            plts.append(response.plt)
-            yield response.measurement_process
+    def driver():
+        for index in range(FIG5BC_REQUESTS):
+            yield world.env.timeout(rng.uniform(1.0, 5.0))
+            world.env.process(request_one(index))
 
-        def driver():
-            for index in range(FIG5BC_REQUESTS):
-                yield world.env.timeout(rng.uniform(1.0, 5.0))
-                world.env.process(request_one(index))
+    world.run_process(driver())
+    world.env.run()  # drain outstanding requests
+    return plts
 
-        world.run_process(driver())
-        world.env.run()  # drain outstanding requests
-        series[label] = plts
-    return series
+
+def run_fig5bc(size_key):
+    # Independent trials, one per redundancy mode, fanned via the runner.
+    specs = [
+        TrialSpec(
+            name=label,
+            fn=_fig5bc_arm,
+            kwargs=dict(size_key=size_key, label=label,
+                        mode_index=mode_index, config_kwargs=config_kwargs),
+        )
+        for mode_index, (label, config_kwargs) in enumerate(_FIG5BC_MODES.items())
+    ]
+    return merge_values(run_trials(specs))
 
 
 def _bc_table(series, title):

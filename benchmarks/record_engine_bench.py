@@ -1,0 +1,179 @@
+"""Record kernel/policy throughput numbers to BENCH_engine.json.
+
+Times the same workloads as ``bench_engine_performance.py`` with a plain
+``perf_counter`` harness (no pytest-benchmark dependency) so CI can track
+the perf trajectory across PRs.  Usage::
+
+    PYTHONPATH=src python benchmarks/record_engine_bench.py [--label after]
+
+The script merges into the repo-root ``BENCH_engine.json``: each label
+("seed-baseline", "after", ...) maps to the best-of-N wall-clock seconds
+per workload, so before/after history accumulates rather than being
+overwritten.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+from repro.censor.actions import DnsAction
+from repro.simnet.engine import Environment
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_engine.json"
+
+
+def run_timer_storm(n_processes=200, ticks=50):
+    env = Environment()
+
+    def ticker(delay):
+        for _ in range(ticks):
+            yield env.timeout(delay)
+
+    for index in range(n_processes):
+        env.process(ticker(0.1 + index * 0.001))
+    env.run()
+    return env.now
+
+
+def run_spawn_join_storm(width=40, depth=3):
+    env = Environment()
+
+    def node(level):
+        if level == 0:
+            yield env.timeout(0.01)
+            return 1
+        children = [env.process(node(level - 1)) for _ in range(3)]
+        gathered = yield env.all_of(children)
+        return sum(gathered.values())
+
+    roots = [env.process(node(depth)) for _ in range(width)]
+    env.run()
+    return sum(root.value for root in roots)
+
+
+def run_policy_lookups():
+    from repro.censor.policy import CensorPolicy, Matcher, Rule
+    from repro.censor.actions import DnsVerdict
+
+    policy = CensorPolicy(name="big")
+    domains = {f"blocked{i}.example.com" for i in range(500)}
+    policy.add_rule(
+        Rule(matcher=Matcher(domains=domains), dns=DnsVerdict(DnsAction.NXDOMAIN))
+    )
+    hits = 0
+    for i in range(2000):
+        if policy.on_dns_query(f"www.blocked{i % 600}.example.com").action \
+                is DnsAction.NXDOMAIN:
+            hits += 1
+    assert hits == 3 * 500 + 200
+    return hits
+
+
+def _build_multirule_policy(n_rules=200):
+    from repro.censor.policy import CensorPolicy, Matcher, Rule
+    from repro.censor.actions import DnsVerdict, HttpVerdict, HttpAction
+
+    policy = CensorPolicy(name="multirule")
+    for i in range(n_rules):
+        policy.add_rule(
+            Rule(
+                matcher=Matcher(
+                    domains={f"site{i}.example.com"},
+                    keywords={f"badword{i}"},
+                ),
+                dns=DnsVerdict(DnsAction.NXDOMAIN),
+                http=HttpVerdict(HttpAction.DROP),
+                label=f"rule{i}",
+            )
+        )
+    return policy
+
+
+def _multirule_queries(policy, hook_dns, hook_http):
+    """2000 DNS + 2000 HTTP lookups; most miss, the tail hits late rules."""
+    hits = 0
+    for i in range(2000):
+        qname = f"www.site{i % 250}.example.com"
+        if hook_dns(qname).action is DnsAction.NXDOMAIN:
+            hits += 1
+        host, path = f"cdn{i}.example.net", f"/page/{i % 97}"
+        if i % 10 == 0:
+            path = f"/stream/badword{i % 250}/x"
+        from repro.censor.actions import HttpAction
+        if hook_http(host, path).action is HttpAction.DROP:
+            hits += 1
+    return hits
+
+
+def run_policy_multirule_compiled(_policy=_build_multirule_policy()):
+    compiled = _policy.compiled()
+    hits = _multirule_queries(
+        _policy, compiled.on_dns_query, compiled.on_http_request
+    )
+    assert hits == 1600 + 200
+    return hits
+
+
+def run_policy_multirule_linear(_policy=_build_multirule_policy()):
+    hits = _multirule_queries(
+        _policy, _policy.linear_on_dns_query, _policy.linear_on_http_request
+    )
+    assert hits == 1600 + 200
+    return hits
+
+
+WORKLOADS = {
+    "kernel_timer_storm": run_timer_storm,
+    "kernel_spawn_join_storm": run_spawn_join_storm,
+    "policy_dns_lookups": run_policy_lookups,
+    "policy_multirule_compiled": run_policy_multirule_compiled,
+    "policy_multirule_linear": run_policy_multirule_linear,
+}
+
+
+def best_of(fn, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="after",
+                        help="key to record under (e.g. seed-baseline, after)")
+    parser.add_argument("--rounds", type=int, default=5)
+    args = parser.parse_args()
+
+    timings = {name: best_of(fn, args.rounds) for name, fn in WORKLOADS.items()}
+
+    history = {}
+    if OUT.exists():
+        history = json.loads(OUT.read_text())
+    history[args.label] = {
+        "seconds": timings,
+        "python": platform.python_version(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    baseline = history.get("seed-baseline")
+    if baseline and args.label != "seed-baseline":
+        history[args.label]["speedup_vs_seed"] = {
+            name: round(baseline["seconds"][name] / timings[name], 2)
+            for name in timings
+            if name in baseline["seconds"]
+        }
+    OUT.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    for name, seconds in timings.items():
+        print(f"{name}: {seconds * 1000:.2f} ms")
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -78,7 +78,7 @@ class Middlebox:
     def dns_query(self, time: float, qname: str, src_ip: str = "") -> DnsVerdict:
         if not self.enabled:
             return PASS_DNS
-        verdict = self.policy.on_dns_query(qname)
+        verdict = self.policy.compiled().on_dns_query(qname)
         if verdict.action is not DnsAction.PASS:
             self._record(time, "dns", qname, verdict.action.value, src_ip)
         return verdict
@@ -86,7 +86,7 @@ class Middlebox:
     def packet(self, time: float, dst_ip: str, src_ip: str = "") -> IpVerdict:
         if not self.enabled:
             return PASS_IP
-        verdict = self.policy.on_packet(dst_ip)
+        verdict = self.policy.compiled().on_packet(dst_ip)
         if verdict.action is not IpAction.PASS:
             self._record(time, "ip", dst_ip, verdict.action.value, src_ip)
         return verdict
@@ -96,7 +96,7 @@ class Middlebox:
     ) -> HttpVerdict:
         if not self.enabled:
             return PASS_HTTP
-        verdict = self.policy.on_http_request(host, path)
+        verdict = self.policy.compiled().on_http_request(host, path)
         if verdict.action is not HttpAction.PASS:
             self._record(time, "http", f"{host}{path}", verdict.action.value, src_ip)
         return verdict
@@ -106,7 +106,7 @@ class Middlebox:
     ) -> TlsVerdict:
         if not self.enabled:
             return PASS_TLS
-        verdict = self.policy.on_tls_client_hello(sni, dst_ip)
+        verdict = self.policy.compiled().on_tls_client_hello(sni, dst_ip)
         if verdict.action is not TlsAction.PASS:
             self._record(time, "tls", sni or dst_ip, verdict.action.value, src_ip)
         return verdict

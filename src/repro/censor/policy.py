@@ -67,6 +67,7 @@ class Matcher:
     def __post_init__(self) -> None:
         self.domains = {d.lower() for d in self.domains}
         self.keywords = {k.lower() for k in self.keywords}
+        self.url_prefixes = {p.lower() for p in self.url_prefixes}
         if not (self.domains or self.keywords or self.url_prefixes or self.ips):
             raise ValueError("matcher needs at least one criterion")
 
@@ -84,10 +85,12 @@ class Matcher:
         )
 
     def matches_url(self, host: str, path: str) -> bool:
-        url = f"{host.lower()}{path}"
+        # Lowercase host *and* path once: keyword filters inspect the whole
+        # cleartext URL, and a MiXeD-case path must not dodge them.
+        url = f"{host}{path}".lower()
         if self.matches_qname(host):
             return True
-        if any(k in url.lower() for k in self.keywords):
+        if any(k in url for k in self.keywords):
             return True
         return any(url.startswith(p) or f"http://{url}".startswith(p)
                    for p in self.url_prefixes)
@@ -110,42 +113,83 @@ class CensorPolicy:
 
     The methods return the *verdict* for a given wire observation; PASS
     verdicts mean "not this rule's business".  First matching rule wins.
+
+    The stage hooks (``on_dns_query`` & co.) are served by a compiled
+    per-stage hash index (:class:`~repro.censor.compiled.CompiledPolicy`)
+    that is rebuilt transparently whenever ``add_rule``/``remove_rules``
+    changes the rule list.  The ``linear_on_*`` twins keep the original
+    rule-scan semantics as the executable specification; the property
+    tests assert the two paths return identical verdict objects.  Mutating
+    a :class:`Matcher`'s criterion sets in place after the rule was added
+    is NOT supported — go through ``add_rule``/``remove_rules``.
     """
 
     def __init__(self, rules: Optional[Iterable[Rule]] = None, name: str = ""):
         self.name = name
         self.rules: List[Rule] = list(rules or [])
+        self._version = 0
+        self._compiled = None
+        self._compiled_version = -1
 
     def add_rule(self, rule: Rule) -> None:
         self.rules.append(rule)
+        self._version += 1
 
     def remove_rules(self, label: str) -> int:
         """Drop all rules carrying ``label``; returns how many were removed."""
         before = len(self.rules)
         self.rules = [r for r in self.rules if r.label != label]
+        self._version += 1
         return before - len(self.rules)
+
+    def compiled(self):
+        """The current :class:`CompiledPolicy` snapshot (rebuilt on change)."""
+        if self._compiled is None or self._compiled_version != self._version:
+            from .compiled import CompiledPolicy  # deferred: avoids cycle
+
+            self._compiled = CompiledPolicy(self.rules)
+            self._compiled_version = self._version
+        return self._compiled
 
     # -- stage hooks --------------------------------------------------------
 
     def on_dns_query(self, qname: str) -> DnsVerdict:
+        return self.compiled().on_dns_query(qname)
+
+    def on_packet(self, dst_ip: str) -> IpVerdict:
+        return self.compiled().on_packet(dst_ip)
+
+    def on_http_request(self, host: str, path: str) -> HttpVerdict:
+        return self.compiled().on_http_request(host, path)
+
+    def on_tls_client_hello(self, sni: Optional[str], dst_ip: str) -> TlsVerdict:
+        return self.compiled().on_tls_client_hello(sni, dst_ip)
+
+    # -- linear reference implementations -----------------------------------
+    # The pre-index semantics, kept as the executable spec the compiled
+    # index is property-tested against.
+
+    def linear_on_dns_query(self, qname: str) -> DnsVerdict:
         for rule in self.rules:
             if rule.dns is not PASS_DNS and rule.matcher.matches_qname(qname):
                 return rule.dns
         return PASS_DNS
 
-    def on_packet(self, dst_ip: str) -> IpVerdict:
+    def linear_on_packet(self, dst_ip: str) -> IpVerdict:
         for rule in self.rules:
             if rule.ip is not PASS_IP and rule.matcher.matches_ip(dst_ip):
                 return rule.ip
         return PASS_IP
 
-    def on_http_request(self, host: str, path: str) -> HttpVerdict:
+    def linear_on_http_request(self, host: str, path: str) -> HttpVerdict:
         for rule in self.rules:
             if rule.http is not PASS_HTTP and rule.matcher.matches_url(host, path):
                 return rule.http
         return PASS_HTTP
 
-    def on_tls_client_hello(self, sni: Optional[str], dst_ip: str) -> TlsVerdict:
+    def linear_on_tls_client_hello(
+        self, sni: Optional[str], dst_ip: str
+    ) -> TlsVerdict:
         for rule in self.rules:
             if rule.tls is PASS_TLS:
                 continue

@@ -1,0 +1,23 @@
+"""Parallel experiment runner (see :mod:`repro.runner.core`)."""
+
+from .core import (
+    RunnerError,
+    TrialResult,
+    TrialSpec,
+    derive_seed,
+    merge_values,
+    resolve_workers,
+    run_seed_sweep,
+    run_trials,
+)
+
+__all__ = [
+    "RunnerError",
+    "TrialResult",
+    "TrialSpec",
+    "derive_seed",
+    "merge_values",
+    "resolve_workers",
+    "run_seed_sweep",
+    "run_trials",
+]

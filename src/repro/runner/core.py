@@ -1,0 +1,179 @@
+"""Parallel experiment runner: fan independent trials across processes.
+
+Every multi-configuration experiment in this repo (ablation arms, Figure-5
+redundancy modes, multi-seed pilot sweeps) has the same shape: N fully
+independent trials, each building its own world from its own seed, whose
+results are then merged into one table.  This module gives that shape a
+first-class API:
+
+- :class:`TrialSpec` names one trial — a picklable top-level callable plus
+  kwargs;
+- :func:`derive_seed` maps ``(root_seed, *parts)`` to a stable 63-bit seed
+  via SHA-256, so per-trial seeds depend only on the trial's identity,
+  never on scheduling order or worker count;
+- :func:`run_trials` executes the specs — across a
+  ``ProcessPoolExecutor`` when more than one worker is available, serially
+  otherwise — and returns :class:`TrialResult`\\ s **in spec order** with
+  wall-clock timings and captured tracebacks.
+
+Determinism contract: results are identical for any worker count, because
+each trial carries its own seed and no state is shared between trials.
+Worker count resolves from the ``REPRO_RUNNER_WORKERS`` environment
+variable, falling back to ``os.cpu_count()``.
+
+Trial callables must be importable top-level functions (the pool pickles
+them by reference); closures and lambdas only work with ``workers=1``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "TrialSpec",
+    "TrialResult",
+    "RunnerError",
+    "derive_seed",
+    "resolve_workers",
+    "run_trials",
+    "run_seed_sweep",
+    "merge_values",
+]
+
+_WORKERS_ENV = "REPRO_RUNNER_WORKERS"
+
+
+def derive_seed(root_seed: int, *parts: object) -> int:
+    """Stable 63-bit seed for a trial identified by ``(root_seed, *parts)``.
+
+    SHA-256 over the textual identity, so adding/removing/reordering
+    *other* trials never changes this trial's seed — the property that
+    keeps sweep outputs reproducible as experiments grow.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(root_seed).encode())
+    for part in parts:
+        digest.update(b"\x1f")
+        digest.update(str(part).encode())
+    return int.from_bytes(digest.digest()[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent unit of work."""
+
+    name: str
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one trial: value or captured traceback, plus timing."""
+
+    name: str
+    value: Any = None
+    seconds: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class RunnerError(RuntimeError):
+    """Raised by :func:`merge_values` when any trial failed."""
+
+    def __init__(self, failures: Sequence[TrialResult]):
+        self.failures = list(failures)
+        names = ", ".join(f.name for f in self.failures)
+        detail = "\n\n".join(f.error or "" for f in self.failures)
+        super().__init__(f"{len(self.failures)} trial(s) failed: {names}\n{detail}")
+
+
+def _execute(spec: TrialSpec) -> TrialResult:
+    """Run one spec, never letting the exception cross the process boundary
+    raw (tracebacks pickle reliably; arbitrary exception objects may not)."""
+    start = time.perf_counter()
+    try:
+        value = spec.fn(**spec.kwargs)
+    except Exception:
+        return TrialResult(
+            name=spec.name,
+            seconds=time.perf_counter() - start,
+            error=traceback.format_exc(),
+        )
+    return TrialResult(
+        name=spec.name, value=value, seconds=time.perf_counter() - start
+    )
+
+
+def resolve_workers(n_trials: int, workers: Optional[int] = None) -> int:
+    """Effective worker count: explicit arg > env var > cpu count."""
+    if workers is None:
+        env = os.environ.get(_WORKERS_ENV, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{_WORKERS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = os.cpu_count() or 1
+    return max(1, min(workers, n_trials))
+
+
+def run_trials(
+    specs: Sequence[TrialSpec], workers: Optional[int] = None
+) -> List[TrialResult]:
+    """Execute ``specs`` and return results in spec order.
+
+    ``workers=1`` (or a single spec, or a 1-CPU host) runs everything in
+    this process — no pool overhead, closures allowed.  Anything greater
+    fans out over a ``ProcessPoolExecutor``; ``executor.map`` preserves
+    input order regardless of completion order.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    n_workers = resolve_workers(len(specs), workers)
+    if n_workers == 1:
+        return [_execute(spec) for spec in specs]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(_execute, specs))
+
+
+def run_seed_sweep(
+    fn: Callable[..., Any],
+    root_seed: int,
+    n_trials: int,
+    name: str = "trial",
+    workers: Optional[int] = None,
+    **kwargs: Any,
+) -> List[TrialResult]:
+    """Run ``fn(seed=..., **kwargs)`` for ``n_trials`` derived seeds."""
+    specs = [
+        TrialSpec(
+            name=f"{name}[{index}]",
+            fn=fn,
+            kwargs={"seed": derive_seed(root_seed, name, index), **kwargs},
+        )
+        for index in range(n_trials)
+    ]
+    return run_trials(specs, workers=workers)
+
+
+def merge_values(results: Iterable[TrialResult]) -> Dict[str, Any]:
+    """``{name: value}`` over successful results; raise if any failed."""
+    results = list(results)
+    failures = [r for r in results if not r.ok]
+    if failures:
+        raise RunnerError(failures)
+    return {r.name: r.value for r in results}

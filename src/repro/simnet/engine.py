@@ -16,11 +16,57 @@ primitives the C-Saw reproduction needs:
 
 Virtual time is a float in seconds.  The kernel is fully deterministic: ties
 in the event queue are broken by insertion order.
+
+Fast path
+---------
+The kernel is the hot loop under every experiment (~10^6 events per paper
+artefact), so it trades a little uniformity for throughput:
+
+- all event classes use ``__slots__`` (including :class:`Environment`);
+- waiters are stored in a compact ``_waiters`` slot: ``False`` (pending, no
+  waiters yet), a single :class:`Process` or callable (the overwhelmingly
+  common case — the one process that yielded the event), a list (2+
+  waiters), or ``None`` (processed).  Storing the *process object* rather
+  than a bound method avoids both an allocation per wait and a reference
+  cycle per process (which kept the cyclic GC busy);
+- queue entries are ``(time, eid, kind, obj)`` 4-tuples.  ``kind`` lets
+  process kick-starts and interrupt deliveries ride the queue *without*
+  allocating a carrier :class:`Event` each;
+- the queue is split three ways.  Entries scheduled *at the current time*
+  (process starts, completions, ``succeed``/``fail``, interrupts,
+  zero-delay timeouts) go on a plain ``deque``: virtual time never moves
+  backwards, so append order on that lane *is* ``(time, eid)`` order and
+  the O(log n) heap is bypassed entirely.  Future entries (positive-delay
+  timeouts) go through a one-entry ``_pending`` buffer so the common
+  pop-after-push cycle costs a single ``heappushpop`` sift instead of a
+  full push + pop pair; only bursts of future timeouts spill into the
+  binary heap.  Pops merge the three lanes by plain tuple comparison;
+- :class:`Timeout` keeps ``_ok``/``_defused`` as *class* attributes (a
+  timeout always succeeds and is never defused), shaving two instance
+  stores off the hottest allocation;
+- :meth:`Environment.timeout` and :meth:`Environment.process` build their
+  event objects and schedule them inline, skipping the ``__init__`` call
+  chain;
+- :meth:`Environment.run` has one fused dispatch+resume loop: the
+  single-process-waiter case resumes the generator *inline* (no
+  ``_resume`` call frame), and running until an event shares the same
+  loop via a cheap per-iteration check.  :meth:`Environment.step` and
+  :meth:`Process._resume` implement the same semantics as standalone
+  methods for the cold paths (deadlines, multi-waiter lists) and must
+  stay in sync with the fused loop;
+- the cyclic garbage collector is paused for the duration of
+  :meth:`Environment.run` (and restored after).  Kernel objects are
+  acyclic by construction, so reference counting reclaims them promptly
+  either way; pausing avoids generation-0 scans triggered by the heavy
+  event/tuple allocation churn.
 """
 
 from __future__ import annotations
 
-import heapq
+import gc as _gc
+from collections import deque
+from heapq import heappop as _heappop, heappush as _heappush, \
+    heappushpop as _heappushpop
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -50,8 +96,13 @@ class Interrupt(Exception):
         self.cause = cause
 
 
-# Sentinels for Event state.
+# Sentinel for Event state.
 _PENDING = object()
+
+# Queue-entry kinds (see Environment._imm / _queue).
+_KIND_EVENT = 0  # obj is a triggered Event whose waiters must run
+_KIND_START = 1  # obj is a Process to kick-start
+_KIND_INTERRUPT = 2  # obj is (process, Interrupt) to deliver
 
 
 class Event:
@@ -59,12 +110,16 @@ class Event:
 
     An event starts *pending*, is *triggered* with either a value
     (:meth:`succeed`) or an exception (:meth:`fail`), and is *processed* once
-    the environment has run its callbacks.
+    the environment has notified its waiters.
     """
+
+    __slots__ = ("env", "_waiters", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        # False = pending without waiters; a Process or callable = one
+        # waiter; a list = several waiters; None = processed.
+        self._waiters: Any = False
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         # True once a failure has been delivered to at least one waiter.
@@ -76,7 +131,7 @@ class Event:
 
     @property
     def processed(self) -> bool:
-        return self.callbacks is None
+        return self._waiters is None
 
     @property
     def ok(self) -> bool:
@@ -90,24 +145,44 @@ class Event:
             raise SimulationError("event has not been triggered yet")
         return self._value
 
+    def add_waiter(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run when the event is processed.
+
+        (The seed kernel exposed a ``callbacks`` list; the compact waiter
+        slot replaced it.)  Must not be called on a processed event.
+        """
+        waiters = self._waiters
+        if waiters is None:
+            raise SimulationError("event already processed")
+        if waiters is False:
+            self._waiters = callback
+        elif type(waiters) is list:
+            waiters.append(callback)
+        else:
+            self._waiters = [waiters, callback]
+
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        env._imm.append((env._now, eid, _KIND_EVENT, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception delivered to waiters."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.env._schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        env._imm.append((env._now, eid, _KIND_EVENT, self))
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -117,17 +192,65 @@ class Event:
         return f"<{type(self).__name__} {state} at {hex(id(self))}>"
 
 
+class _InitEvent(Event):
+    """Singleton carrier for process kick-starts (never scheduled)."""
+
+    __slots__ = ()
+
+    def __init__(self):
+        self.env = None
+        self._waiters = None
+        self._value = None
+        self._ok = True
+        self._defused = False
+
+
+_INIT = _InitEvent()
+
+
+class _Failure(Event):
+    """Carrier delivering an exception into a process (interrupts)."""
+
+    __slots__ = ()
+
+    def __init__(self, exc: BaseException):
+        self.env = None
+        self._waiters = None
+        self._value = exc
+        self._ok = False
+        self._defused = True
+
+
 class Timeout(Event):
     """Event that triggers ``delay`` seconds of virtual time in the future."""
+
+    __slots__ = ("delay",)
+
+    # A timeout always succeeds and is never defused; keeping these as
+    # class attributes (legal: the slot descriptors live on Event and are
+    # shadowed here) removes two instance stores from the hottest
+    # allocation site.  They must never be assigned on an instance.
+    _ok = True
+    _defused = False
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay: {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self._waiters = False
         self._value = value
-        env._schedule(self, delay=delay)
+        self.delay = delay
+        env._eid = eid = env._eid + 1
+        if delay == 0:
+            env._imm.append((env._now, eid, _KIND_EVENT, self))
+        else:
+            entry = (env._now + delay, eid, _KIND_EVENT, self)
+            previous = env._pending
+            if previous is None:
+                env._pending = entry
+            else:
+                _heappush(env._queue, previous)
+                env._pending = entry
 
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
         raise SimulationError("Timeout events trigger automatically")
@@ -145,110 +268,147 @@ class Process(Event):
     it.
     """
 
+    __slots__ = ("_generator", "_send", "_target")
+
     def __init__(self, env: "Environment", generator: Generator):
-        if not hasattr(generator, "send"):
-            raise TypeError(f"process() requires a generator, got {generator!r}")
-        super().__init__(env)
+        try:
+            send = generator.send
+        except AttributeError:
+            raise TypeError(
+                f"process() requires a generator, got {generator!r}"
+            ) from None
+        self.env = env
+        self._waiters = False
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
         self._generator = generator
+        self._send = send
         self._target: Optional[Event] = None
-        # Kick-start on the next loop iteration.
-        init = Event(env)
-        init.callbacks.append(self._resume)
-        init._ok = True
-        init._value = None
-        env._schedule(init)
+        # Kick-start on the next loop iteration (no carrier event needed).
+        env._eid = eid = env._eid + 1
+        env._imm.append((env._now, eid, _KIND_START, self))
 
     @property
     def is_alive(self) -> bool:
-        return not self.triggered
+        return self._value is _PENDING
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at its current yield."""
-        if self.triggered:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a finished process is a no-op, and a process that
+        finishes between the call and the delivery (same timestep) ignores
+        the delivery; either way nothing persists in the event queue.
+        """
+        if self._value is not _PENDING:
             return  # Interrupting a finished process is a no-op.
-        interruption = Event(self.env)
-        interruption.callbacks.append(self._resume_interrupt)
-        interruption._ok = False
-        interruption._value = Interrupt(cause)
-        interruption._defused = True
-        self.env._schedule(interruption)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        env._imm.append(
+            (env._now, eid, _KIND_INTERRUPT, (self, Interrupt(cause)))
+        )
 
     # -- internal ---------------------------------------------------------
 
-    def _resume_interrupt(self, event: Event) -> None:
-        if self.triggered:
+    def _deliver_interrupt(self, exc: Interrupt) -> None:
+        if self._value is not _PENDING:
             return  # Process finished before the interrupt was delivered.
         target = self._target
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-        self._resume(event)
+        if target is not None:
+            # Detach from the event we were waiting on so its eventual
+            # trigger does not double-resume us.
+            waiters = target._waiters
+            if waiters is self:
+                target._waiters = False
+            elif type(waiters) is list:
+                try:
+                    waiters.remove(self)
+                except ValueError:
+                    pass
+        self._resume(_Failure(exc))
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        # Cold-path twin of the fused resume in Environment.run — keep the
+        # semantics in sync.
+        env = self.env
+        env._active_process = self
         try:
             while True:
-                if event is None:
-                    next_event = self._generator.send(None)
-                elif event._ok:
-                    next_event = self._generator.send(event._value)
+                if event._ok:
+                    next_event = self._send(event._value)
                 else:
                     event._defused = True
                     next_event = self._generator.throw(event._value)
-                if not isinstance(next_event, Event):
+                try:
+                    waiters = next_event._waiters
+                    other_env = next_event.env
+                except AttributeError:
                     raise SimulationError(
                         f"process yielded a non-event: {next_event!r}"
-                    )
-                if next_event.env is not self.env:
+                    ) from None
+                if other_env is not env:
                     raise SimulationError("yielded event from another environment")
                 self._target = next_event
-                if next_event.callbacks is not None:
-                    next_event.callbacks.append(self._resume)
-                    break
+                if waiters is False:
+                    next_event._waiters = self
+                    return
+                if waiters is not None:
+                    if type(waiters) is list:
+                        waiters.append(self)
+                    else:
+                        next_event._waiters = [waiters, self]
+                    return
                 # Event already processed: loop again immediately.
                 event = next_event
         except StopIteration as stop:
             self._target = None
-            if not self.triggered:
+            if self._value is _PENDING:
                 self._ok = True
                 self._value = stop.value
-                self.env._schedule(self)
+                env._eid = eid = env._eid + 1
+                env._imm.append((env._now, eid, _KIND_EVENT, self))
         except BaseException as exc:
             self._target = None
-            if not self.triggered:
+            if self._value is _PENDING:
                 self._ok = False
                 self._value = exc
-                self.env._schedule(self)
-        finally:
-            self.env._active_process = None
+                env._eid = eid = env._eid + 1
+                env._imm.append((env._now, eid, _KIND_EVENT, self))
 
 
 class _Condition(Event):
     """Base for AnyOf/AllOf composite events."""
 
-    def __init__(self, env: "Environment", events: Iterable[Event]):
-        super().__init__(env)
+    __slots__ = ("events", "_matched", "_need")
+
+    def __init__(self, env: "Environment", events: Iterable[Event], need: int):
+        self.env = env
+        self._waiters = False
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
         self.events: List[Event] = list(events)
         self._matched = 0
-        for ev in self.events:
-            if ev.env is not env:
-                raise SimulationError("condition spans multiple environments")
+        self._need = need if need >= 0 else len(self.events)
         if not self.events:
             self.succeed({})
             return
+        check = self._check
         for ev in self.events:
-            if ev.callbacks is None:  # already processed
-                self._check(ev)
+            if ev.env is not env:
+                raise SimulationError("condition spans multiple environments")
+            waiters = ev._waiters
+            if waiters is None:  # already processed
+                check(ev)
+            elif waiters is False:
+                ev._waiters = check
+            elif type(waiters) is list:
+                waiters.append(check)
             else:
-                ev.callbacks.append(self._check)
-
-    def _satisfied(self) -> bool:  # pragma: no cover - overridden
-        raise NotImplementedError
+                ev._waiters = [waiters, check]
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             if not event._ok:
                 event._defused = True
             return
@@ -257,12 +417,12 @@ class _Condition(Event):
             self.fail(event._value)
             return
         self._matched += 1
-        if self._satisfied():
+        if self._matched >= self._need:
             self.succeed(
                 {
                     ev: ev._value
                     for ev in self.events
-                    if ev.callbacks is None and ev._ok
+                    if ev._waiters is None and ev._ok
                 }
             )
 
@@ -273,15 +433,19 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Triggers when any child event triggers (fails if one fails first)."""
 
-    def _satisfied(self) -> bool:
-        return self._matched >= 1
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, need=1)
 
 
 class AllOf(_Condition):
     """Triggers when all child events have triggered."""
 
-    def _satisfied(self) -> bool:
-        return self._matched == len(self.events)
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, need=-1)  # -1: all of them
 
 
 class Environment:
@@ -291,8 +455,17 @@ class Environment:
     the queue drains, an event triggers, or a deadline passes.
     """
 
+    __slots__ = ("_now", "_imm", "_pending", "_queue", "_eid",
+                 "_active_process")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
+        # Three scheduling lanes, all holding (time, eid, kind, obj) entries:
+        # _imm for entries at the current time (append order == heap order
+        # because time is monotonic), _pending as a one-entry buffer for the
+        # most recent future timeout, _queue as the spill heap for bursts.
+        self._imm: deque = deque()
+        self._pending: Optional[tuple] = None
         self._queue: List[Any] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
@@ -303,6 +476,8 @@ class Environment:
 
     @property
     def active_process(self) -> Optional[Process]:
+        """The process currently executing (only meaningful from inside a
+        process generator; between resumes it retains the last process)."""
         return self._active_process
 
     # -- event constructors -------------------------------------------------
@@ -311,10 +486,48 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        # Fast path: build the Timeout and schedule it inline, skipping the
+        # Event.__init__ call chain (hottest allocation site).
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        t = _new_timeout(Timeout)
+        t.env = self
+        t._waiters = False
+        t._value = value
+        t.delay = delay
+        self._eid = eid = self._eid + 1
+        if delay == 0:
+            self._imm.append((self._now, eid, _KIND_EVENT, t))
+        else:
+            entry = (self._now + delay, eid, _KIND_EVENT, t)
+            previous = self._pending
+            if previous is None:
+                self._pending = entry
+            else:
+                _heappush(self._queue, previous)
+                self._pending = entry
+        return t
 
     def process(self, generator: Generator) -> Process:
-        return Process(self, generator)
+        # Fast path mirroring timeout(): inline Process construction.
+        try:
+            send = generator.send
+        except AttributeError:
+            raise TypeError(
+                f"process() requires a generator, got {generator!r}"
+            ) from None
+        p = _new_process(Process)
+        p.env = self
+        p._waiters = False
+        p._value = _PENDING
+        p._ok = None
+        p._defused = False
+        p._generator = generator
+        p._send = send
+        p._target = None
+        self._eid = eid = self._eid + 1
+        self._imm.append((self._now, eid, _KIND_START, p))
+        return p
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
@@ -325,25 +538,93 @@ class Environment:
     # -- scheduling ----------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+        self._eid = eid = self._eid + 1
+        if delay == 0:
+            self._imm.append((self._now, eid, _KIND_EVENT, event))
+        else:
+            entry = (self._now + delay, eid, _KIND_EVENT, event)
+            previous = self._pending
+            if previous is None:
+                self._pending = entry
+            else:
+                _heappush(self._queue, previous)
+                self._pending = entry
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        best = float("inf")
+        imm = self._imm
+        if imm:
+            best = imm[0][0]
+        pending = self._pending
+        if pending is not None and pending[0] < best:
+            best = pending[0]
+        queue = self._queue
+        if queue and queue[0][0] < best:
+            best = queue[0][0]
+        return best
+
+    def _pop(self) -> Optional[tuple]:
+        """Pop the globally next entry across the three lanes, or None."""
+        imm = self._imm
+        queue = self._queue
+        if imm:
+            entry = imm[0]
+            pending = self._pending
+            if pending is not None and pending < entry:
+                if queue and queue[0] < pending:
+                    return _heappop(queue)
+                self._pending = None
+                return pending
+            if queue and queue[0] < entry:
+                return _heappop(queue)
+            return imm.popleft()
+        pending = self._pending
+        if pending is not None:
+            self._pending = None
+            if queue:
+                return _heappushpop(queue, pending)
+            return pending
+        if queue:
+            return _heappop(queue)
+        return None
+
+    def _dispatch(self, obj: Event) -> None:
+        """Notify a triggered event's waiters (cold-path dispatch)."""
+        waiters = obj._waiters
+        obj._waiters = None
+        if waiters is not False:
+            if type(waiters) is Process:
+                waiters._resume(obj)
+            elif type(waiters) is list:
+                for waiter in waiters:
+                    if type(waiter) is Process:
+                        waiter._resume(obj)
+                    else:
+                        waiter(obj)
+            else:
+                waiters(obj)
+        if obj._ok is False and not obj._defused:
+            raise obj._value
 
     def step(self) -> None:
-        """Process the single next event."""
-        if not self._queue:
+        """Process the single next queue entry.
+
+        Cold-path twin of the fused loop in :meth:`run` — keep in sync.
+        """
+        entry = self._pop()
+        if entry is None:
             raise SimulationError("no scheduled events")
-        when, _eid, event = heapq.heappop(self._queue)
+        when, _eid, kind, obj = entry
         self._now = when
-        callbacks = event.callbacks
-        event.callbacks = None
-        for callback in callbacks or []:
-            callback(event)
-        if not event._ok and not event._defused:
-            raise event._value
+        if kind:
+            if kind == _KIND_START:
+                obj._resume(_INIT)
+            else:  # _KIND_INTERRUPT
+                process, exc = obj
+                process._deliver_interrupt(exc)
+            return
+        self._dispatch(obj)
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -352,25 +633,170 @@ class Environment:
         virtual time), or an :class:`Event` (run until it triggers, returning
         its value or raising its failure).
         """
-        if until is None:
-            while self._queue:
-                self.step()
+        if until is not None and not isinstance(until, Event):
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError("cannot run backwards in time")
+            gc_was_enabled = _gc.isenabled()
+            if gc_was_enabled:
+                _gc.disable()
+            try:
+                while self.peek() <= deadline:
+                    self.step()
+            finally:
+                if gc_was_enabled:
+                    _gc.enable()
+            self._now = deadline
             return None
-        if isinstance(until, Event):
-            while not until.processed:
-                if not self._queue:
-                    raise SimulationError(
-                        "event queue drained before the awaited event triggered"
-                    )
-                self.step()
+        if until is not None and until._waiters is None:
+            # Already processed before we started.
             if until._ok:
                 return until._value
             until._defused = True
             raise until._value
-        deadline = float(until)
-        if deadline < self._now:
-            raise SimulationError("cannot run backwards in time")
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
-        self._now = deadline
-        return None
+        imm = self._imm
+        queue = self._queue
+        popleft = imm.popleft
+        imm_append = imm.append
+        # Pause the cyclic collector for the duration of the loop: kernel
+        # allocations are acyclic (reclaimed by refcount), and the churn
+        # otherwise triggers constant generation-0 scans.
+        gc_was_enabled = _gc.isenabled()
+        if gc_was_enabled:
+            _gc.disable()
+        try:
+            # The fused dispatch+resume loop.  step()/_dispatch()/_resume()
+            # implement identical semantics for the cold paths.
+            while True:
+                # -- pop: three-lane merge (see _pop) -----------------------
+                if imm:
+                    entry = imm[0]
+                    pending = self._pending
+                    if pending is not None and pending < entry:
+                        if queue and queue[0] < pending:
+                            entry = _heappop(queue)
+                        else:
+                            self._pending = None
+                            entry = pending
+                    elif queue and queue[0] < entry:
+                        entry = _heappop(queue)
+                    else:
+                        entry = popleft()
+                else:
+                    pending = self._pending
+                    if pending is not None:
+                        self._pending = None
+                        entry = _heappushpop(queue, pending) if queue \
+                            else pending
+                    elif queue:
+                        entry = _heappop(queue)
+                    elif until is None:
+                        return None
+                    else:
+                        raise SimulationError(
+                            "event queue drained before the awaited event"
+                            " triggered"
+                        )
+                when, _eid, kind, obj = entry
+                self._now = when
+                # -- dispatch ----------------------------------------------
+                if kind:
+                    if kind == 2:  # _KIND_INTERRUPT
+                        process, exc = obj
+                        process._deliver_interrupt(exc)
+                        if until is not None and until._waiters is None:
+                            break
+                        continue
+                    # _KIND_START: treat as resuming the process with the
+                    # _INIT carrier through the fused resume below.
+                    waiters = obj
+                    obj = _INIT
+                else:
+                    waiters = obj._waiters
+                    obj._waiters = None
+                    if waiters is False:
+                        if obj._ok is False and not obj._defused:
+                            raise obj._value
+                        if until is not None and until._waiters is None:
+                            break
+                        continue
+                # -- resume (fused) ----------------------------------------
+                if type(waiters) is Process:
+                    p = waiters
+                    self._active_process = p
+                    try:
+                        if obj._ok:
+                            next_event = p._send(obj._value)
+                        else:
+                            obj._defused = True
+                            next_event = p._generator.throw(obj._value)
+                    except StopIteration as stop:
+                        p._target = None
+                        if p._value is _PENDING:
+                            p._ok = True
+                            p._value = stop.value
+                            self._eid = eid = self._eid + 1
+                            imm_append((when, eid, 0, p))
+                    except BaseException as exc:
+                        p._target = None
+                        if p._value is _PENDING:
+                            p._ok = False
+                            p._value = exc
+                            self._eid = eid = self._eid + 1
+                            imm_append((when, eid, 0, p))
+                    else:
+                        try:
+                            w2 = next_event._waiters
+                            nenv = next_event.env
+                        except AttributeError:
+                            p._target = None
+                            p._ok = False
+                            p._value = SimulationError(
+                                f"process yielded a non-event: {next_event!r}"
+                            )
+                            self._eid = eid = self._eid + 1
+                            imm_append((when, eid, 0, p))
+                        else:
+                            if nenv is not self:
+                                p._target = None
+                                p._ok = False
+                                p._value = SimulationError(
+                                    "yielded event from another environment"
+                                )
+                                self._eid = eid = self._eid + 1
+                                imm_append((when, eid, 0, p))
+                            elif w2 is False:
+                                next_event._waiters = p
+                                p._target = next_event
+                            elif w2 is None:
+                                # Already-processed event: re-resume (rare).
+                                p._resume(next_event)
+                            elif type(w2) is list:
+                                w2.append(p)
+                                p._target = next_event
+                            else:
+                                next_event._waiters = [w2, p]
+                                p._target = next_event
+                elif type(waiters) is list:
+                    for waiter in waiters:
+                        if type(waiter) is Process:
+                            waiter._resume(obj)
+                        else:
+                            waiter(obj)
+                else:
+                    waiters(obj)
+                if obj._ok is False and not obj._defused:
+                    raise obj._value
+                if until is not None and until._waiters is None:
+                    break
+        finally:
+            if gc_was_enabled:
+                _gc.enable()
+        if until._ok:
+            return until._value
+        until._defused = True
+        raise until._value
+
+
+_new_timeout = Timeout.__new__
+_new_process = Process.__new__

@@ -12,6 +12,7 @@ Only the subset of URL syntax the reproduction needs is supported:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
 
 
 __all__ = [
@@ -67,8 +68,14 @@ class ParsedUrl:
         return self.url
 
 
+@lru_cache(maxsize=4096)
 def parse_url(url: str) -> ParsedUrl:
-    """Parse ``scheme://host[:port]/path`` (path defaults to ``/``)."""
+    """Parse ``scheme://host[:port]/path`` (path defaults to ``/``).
+
+    Memoized: the local database and proxy call this on every lookup with a
+    small working set of URLs, and ``ParsedUrl`` is frozen so sharing one
+    instance across callers is safe.
+    """
     if "://" not in url:
         raise ValueError(f"URL missing scheme: {url!r}")
     scheme, rest = url.split("://", 1)
@@ -95,6 +102,7 @@ def parse_url(url: str) -> ParsedUrl:
     return ParsedUrl(scheme=scheme, host=host.lower(), port=port, path=path)
 
 
+@lru_cache(maxsize=4096)
 def normalize_url(url: str) -> str:
     """Canonical string form (lowercased host, default port elided)."""
     return parse_url(url).url

@@ -8,7 +8,14 @@ from .events import (
     run_blocking_wave,
 )
 from .oni import FIG2_CATEGORIES, ONI_AS_SPECS, OniSweep, run_oni_sweep
-from .pilot import PilotConfig, PilotReport, PilotStudy, run_pilot
+from .pilot import (
+    PilotConfig,
+    PilotReport,
+    PilotStudy,
+    pilot_sweep,
+    run_pilot,
+    summarize_sweep,
+)
 from .scenarios import (
     BLOCKED_CATEGORIES,
     CaseStudyScenario,
@@ -33,7 +40,9 @@ __all__ = [
     "PilotConfig",
     "PilotReport",
     "PilotStudy",
+    "pilot_sweep",
     "run_pilot",
+    "summarize_sweep",
     "BLOCKED_CATEGORIES",
     "CaseStudyScenario",
     "CentralizedScenario",

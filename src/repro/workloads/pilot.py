@@ -40,7 +40,14 @@ from ..urlkit import parse_url, registered_domain
 from .corpus import Corpus, build_corpus
 from .scenarios import BLOCKED_CATEGORIES
 
-__all__ = ["PilotConfig", "PilotReport", "PilotStudy", "run_pilot"]
+__all__ = [
+    "PilotConfig",
+    "PilotReport",
+    "PilotStudy",
+    "run_pilot",
+    "pilot_sweep",
+    "summarize_sweep",
+]
 
 # Mechanism mix per (AS, domain); weights target the Table-7 proportions
 # (block pages ~48 %, DNS ~38 %, TCP timeouts ~11 %, the rest exotic).
@@ -352,3 +359,41 @@ class PilotStudy:
 def run_pilot(config: Optional[PilotConfig] = None) -> PilotReport:
     """Convenience wrapper: build, run, report."""
     return PilotStudy(config).run()
+
+
+def _pilot_trial(seed: int, **config_kwargs) -> PilotReport:
+    """Top-level (picklable) trial body for :func:`pilot_sweep`."""
+    return run_pilot(PilotConfig(seed=seed, **config_kwargs))
+
+
+def pilot_sweep(
+    n_trials: int = 3,
+    root_seed: int = 7,
+    workers: Optional[int] = None,
+    **config_kwargs,
+) -> List[PilotReport]:
+    """Run the pilot study over ``n_trials`` independently-seeded worlds.
+
+    Trials fan out across processes via :mod:`repro.runner` (worker count
+    from ``workers`` / ``REPRO_RUNNER_WORKERS`` / CPU count); each world's
+    seed is derived from ``(root_seed, trial index)`` so the sweep is
+    reproducible for any worker count.  Reports come back in trial order.
+    """
+    from ..runner import merge_values, run_seed_sweep
+
+    results = run_seed_sweep(
+        _pilot_trial, root_seed, n_trials, name="pilot",
+        workers=workers, **config_kwargs,
+    )
+    merged = merge_values(results)
+    return [merged[result.name] for result in results]
+
+
+def summarize_sweep(reports: List[PilotReport]) -> List[Tuple[str, float, int, int]]:
+    """Table-7 rows aggregated across a sweep: (label, mean, min, max)."""
+    rows: List[Tuple[str, float, int, int]] = []
+    per_report = [report.rows() for report in reports]
+    for column, (label, _value) in enumerate(per_report[0]):
+        values = [rows_[column][1] for rows_ in per_report]
+        rows.append((label, sum(values) / len(values), min(values), max(values)))
+    return rows

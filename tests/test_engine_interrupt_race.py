@@ -1,0 +1,108 @@
+"""Interrupting a process that completes in the same timestep is a no-op.
+
+The losing redundant request in selective redundancy (§4.3.1) cancels its
+twin as soon as one copy finishes; when both land on the same simulated
+timestep, the cancel must neither raise ``Interrupt`` into a generator
+that already returned nor leak a stale entry in the kernel's queues.
+"""
+
+from __future__ import annotations
+
+from repro.simnet.engine import Environment, Interrupt
+
+
+def _drained(env):
+    """All three scheduler lanes are empty after the run."""
+    return not env._imm and env._pending is None and not env._queue
+
+
+def _target(env, log):
+    try:
+        yield env.timeout(1.0)
+    except Interrupt as exc:
+        log.append(("interrupted", exc.cause))
+        return "interrupted"
+    log.append(("completed",))
+    return "done"
+
+
+def test_interrupt_after_same_step_completion_is_noop():
+    # Target's timeout fires first at t=1 (created first, smaller eid);
+    # the interrupter then cancels an already-finished process.
+    env = Environment()
+    log = []
+    target = env.process(_target(env, log))
+
+    def interrupter():
+        yield env.timeout(1.0)
+        target.interrupt("too late")
+
+    env.process(interrupter())
+    env.run()
+    assert log == [("completed",)]
+    assert target.value == "done"
+    assert env.now == 1.0
+    assert _drained(env)
+
+
+def test_interrupt_scheduled_before_completion_but_delivered_after():
+    # Interrupter fires first at t=1 and *schedules* the interrupt, but the
+    # target's own timeout (older eid) resumes it to completion before the
+    # interrupt entry is delivered — the delivery must then be dropped.
+    env = Environment()
+    log = []
+
+    def interrupter(target_box):
+        yield env.timeout(1.0)
+        target_box[0].interrupt("racing")
+
+    box = []
+    env.process(interrupter(box))
+    box.append(env.process(_target(env, log)))
+    env.run()
+    assert log == [("completed",)]
+    assert box[0].value == "done"
+    assert _drained(env)
+
+
+def test_interrupt_before_completion_still_delivers():
+    # Control: with the target parked past the interrupt time, the
+    # interrupt must still go through.
+    env = Environment()
+    log = []
+
+    def slow_target():
+        try:
+            yield env.timeout(5.0)
+        except Interrupt as exc:
+            log.append(("interrupted", exc.cause))
+            return "interrupted"
+        return "done"
+
+    target = env.process(slow_target())
+
+    def interrupter():
+        yield env.timeout(1.0)
+        target.interrupt("now")
+
+    env.process(interrupter())
+    env.run()
+    assert log == [("interrupted", "now")]
+    assert target.value == "interrupted"
+    assert _drained(env)
+
+
+def test_double_interrupt_after_completion_leaks_nothing():
+    env = Environment()
+    log = []
+    target = env.process(_target(env, log))
+
+    def interrupter():
+        yield env.timeout(1.0)
+        target.interrupt("first")
+        target.interrupt("second")
+
+    env.process(interrupter())
+    env.run()
+    assert target.value == "done"
+    assert _drained(env)
