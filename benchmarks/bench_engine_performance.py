@@ -10,6 +10,8 @@ import pytest
 
 from repro.censor.actions import DnsAction, DnsVerdict
 from repro.censor.policy import CensorPolicy, Matcher, Rule
+from repro.core.globaldb import ReportItem, ServerDB
+from repro.core.records import BlockType
 from repro.simnet.engine import Environment
 
 
@@ -79,3 +81,61 @@ def test_policy_lookup_throughput(benchmark):
     hits = benchmark(lookups)
     # Three full 600-cycles hit 500 each; the 200-remainder all hit.
     assert hits == 3 * 500 + 200
+
+
+def make_crowdsourced_server(n_entries=5000, n_ases=10, urls_per_client=25):
+    server = ServerDB(entry_ttl=None)
+    urls = [f"http://site{i}.example.com/" for i in range(n_entries // n_ases)]
+    index = 0
+    for asn_offset in range(n_ases):
+        asn = 30000 + asn_offset
+        for start in range(0, len(urls), urls_per_client):
+            uuid = server.register(now=float(index))
+            index += 1
+            server.post_update(
+                uuid,
+                [
+                    ReportItem(
+                        url=url,
+                        asn=asn,
+                        stages=(BlockType.BLOCK_PAGE,),
+                        measured_at=1.0,
+                    )
+                    for url in urls[start : start + urls_per_client]
+                ],
+                now=2.0,
+            )
+    return server
+
+
+def test_globaldb_pull_throughput(benchmark):
+    """Per-AS pulls must scale with the shard, not the whole table."""
+    server = make_crowdsourced_server()
+    per_as = 5000 // 10
+
+    def pulls():
+        total = 0
+        for asn_offset in range(10):
+            total += len(server.blocked_for_as(30000 + asn_offset, now=3.0))
+        return total
+
+    total = benchmark(pulls)
+    assert total == 10 * per_as
+
+
+def test_globaldb_delta_sync_throughput(benchmark):
+    """A no-change delta pull must be O(1), not a snapshot rebuild."""
+    server = make_crowdsourced_server()
+    versions = {
+        30000 + off: server.version_for_as(30000 + off) for off in range(10)
+    }
+
+    def pulls():
+        transferred = 0
+        for asn, version in versions.items():
+            result = server.sync_for_as(asn, now=3.0, since_version=version)
+            assert not result.full
+            transferred += result.transferred
+        return transferred
+
+    assert benchmark(pulls) == 0

@@ -127,12 +127,84 @@ def run_policy_multirule_linear(_policy=_build_multirule_policy()):
     return hits
 
 
+_PULL_STORM_CACHE = {}
+
+
+def _build_pull_storm_server(n_entries=100_000, n_ases=50, urls_per_client=50):
+    """A ServerDB holding ``n_entries`` blocked rows spread over ``n_ases``.
+
+    2 000 registered clients each vouch for 50 URLs on their own AS, the
+    shape a large deployment converges to.  Built once and cached: the
+    benchmark times the pull path, not table construction.
+    """
+    from repro.core.globaldb import ReportItem, ServerDB
+    from repro.core.records import BlockType
+
+    args = (n_entries, n_ases, urls_per_client)
+    server = _PULL_STORM_CACHE.get(args)
+    if server is not None:
+        return server
+    server = ServerDB(entry_ttl=None)
+    n_clients = n_entries // urls_per_client
+    for index in range(n_clients):
+        uuid = server.register(now=float(index))
+        asn = 30000 + index % n_ases
+        items = [
+            ReportItem(
+                url=f"http://as{asn}.site{index}-{k}.example.com/",
+                asn=asn,
+                stages=(BlockType.BLOCK_PAGE,),
+                measured_at=1.0,
+            )
+            for k in range(urls_per_client)
+        ]
+        server.post_update(uuid, items, now=2.0)
+    _PULL_STORM_CACHE[args] = server
+    return server
+
+
+def run_globaldb_pull_storm(n_pulls=100, n_ases=50):
+    """100 client pulls against a 100k-entry global_DB (the §5 sync path)."""
+    server = _build_pull_storm_server(n_ases=n_ases)
+    total = 0
+    for index in range(n_pulls):
+        asn = 30000 + index % n_ases
+        total += len(server.blocked_for_as(asn, now=10.0, min_reporters=1))
+    assert total == n_pulls * (100_000 // n_ases)
+    return total
+
+
+def run_voting_update_storm(n_clients=10_000, n_keys=500, reports_each=10):
+    """10k clients upload vouch sets, each upload followed by a confidence
+    check, then five full stats sweeps (the server-side voting hot path)."""
+    from repro.core.voting import VotingLedger
+
+    ledger = VotingLedger()
+    keys = [
+        (f"http://u{index}.example.com/", 30000 + index % 16)
+        for index in range(n_keys)
+    ]
+    checked = 0.0
+    for index in range(n_clients):
+        mine = [
+            keys[(index * 13 + j * 7) % n_keys] for j in range(reports_each)
+        ]
+        ledger.add_client_reports(f"client-{index}", mine)
+        checked += ledger.stats(*keys[index % n_keys]).votes
+    for _ in range(5):
+        for key in keys:
+            checked += ledger.stats(*key).votes
+    return checked
+
+
 WORKLOADS = {
     "kernel_timer_storm": run_timer_storm,
     "kernel_spawn_join_storm": run_spawn_join_storm,
     "policy_dns_lookups": run_policy_lookups,
     "policy_multirule_compiled": run_policy_multirule_compiled,
     "policy_multirule_linear": run_policy_multirule_linear,
+    "globaldb_pull_storm": run_globaldb_pull_storm,
+    "voting_update_storm": run_voting_update_storm,
 }
 
 
@@ -150,6 +222,11 @@ def main() -> None:
     parser.add_argument("--label", default="after",
                         help="key to record under (e.g. seed-baseline, after)")
     parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument(
+        "--compare", action="append", default=None, metavar="LABEL",
+        help="extra recorded label(s) to compute speedups against "
+             "(default: seed-baseline)",
+    )
     args = parser.parse_args()
 
     timings = {name: best_of(fn, args.rounds) for name, fn in WORKLOADS.items()}
@@ -162,9 +239,16 @@ def main() -> None:
         "python": platform.python_version(),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
-    baseline = history.get("seed-baseline")
-    if baseline and args.label != "seed-baseline":
-        history[args.label]["speedup_vs_seed"] = {
+    for base_label in args.compare or ["seed-baseline"]:
+        baseline = history.get(base_label)
+        if not baseline or base_label == args.label:
+            continue
+        key = (
+            "speedup_vs_seed"
+            if base_label == "seed-baseline"
+            else "speedup_vs_" + base_label.replace("-", "_")
+        )
+        history[args.label][key] = {
             name: round(baseline["seconds"][name] / timings[name], 2)
             for name in timings
             if name in baseline["seconds"]

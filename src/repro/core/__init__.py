@@ -12,7 +12,13 @@ from .circumvention import CircumventionModule, fix_defeats
 from .client import CSawClient
 from .config import CSawConfig
 from .detection import DetectionOutcome, measure_direct_path
-from .globaldb import GlobalEntry, RegistrationError, ReportItem, ServerDB
+from .globaldb import (
+    GlobalEntry,
+    RegistrationError,
+    ReportItem,
+    ServerDB,
+    SyncResult,
+)
 from .localdb import LocalDatabase
 from .measurement import MeasurementModule, ServedResponse
 from .multihoming import MultihomingManager
@@ -41,6 +47,7 @@ __all__ = [
     "RegistrationError",
     "ReportItem",
     "ServerDB",
+    "SyncResult",
     "LocalDatabase",
     "MeasurementModule",
     "ServedResponse",

@@ -103,6 +103,8 @@ class CSawClient:
                 self.global_view,
                 config=self.config,
                 report_transport=report_transport,
+                min_reporters=self.config.min_reporters,
+                min_votes=self.config.min_votes,
             )
 
     # -- flow contexts ---------------------------------------------------------
@@ -233,8 +235,16 @@ class CSawClient:
             "local_db_bytes": self.local_db.approx_bytes(),
             "blocked_records": len(self.local_db.blocked_records()),
             "global_view_entries": len(self.global_view),
+            "global_view_version": self.global_view.version,
             "reports_posted": (
                 self.reporting.reports_posted if self.reporting else 0
+            ),
+            "full_syncs": self.reporting.full_syncs if self.reporting else 0,
+            "delta_syncs": (
+                self.reporting.delta_syncs if self.reporting else 0
+            ),
+            "sync_rows_received": (
+                self.reporting.sync_rows_received if self.reporting else 0
             ),
             "data_used_bytes": self.measurement.total_bytes,
             "redundant_data_bytes": self.measurement.redundant_bytes,

@@ -40,6 +40,11 @@ class CSawConfig:
     # Background cadence (seconds) for report upload / blocked-list pull.
     report_interval: float = 600.0
     download_interval: float = 600.0
+    # Confidence criterion applied to downloaded entries (§5): require at
+    # least this many distinct reporters / this much vote mass s_{j,k}
+    # before trusting a crowdsourced entry.
+    min_reporters: int = 1
+    min_votes: float = 0.0
     # Phase-2 size-ratio threshold for block-page confirmation.
     blockpage_ratio_threshold: float = 0.30
     # Moving-average weight for per-approach PLT tracking.
@@ -72,3 +77,7 @@ class CSawConfig:
             raise ValueError("explore_every_n must be >= 2")
         if not 0.0 < self.ewma_alpha <= 1.0:
             raise ValueError(f"ewma_alpha must be in (0,1]: {self.ewma_alpha!r}")
+        if self.min_reporters < 1:
+            raise ValueError("min_reporters must be >= 1")
+        if self.min_votes < 0.0:
+            raise ValueError(f"min_votes must be >= 0: {self.min_votes!r}")

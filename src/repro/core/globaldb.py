@@ -8,20 +8,38 @@ and serves per-AS blocked lists that clients pull periodically.
 Registration is gated by a CAPTCHA (modeled as a solve-time cost paid by
 the caller plus a pass/fail flag), rate-limiting mass creation of fake
 identities.
+
+Storage is sharded per AS: every query a client issues is scoped to its
+own AS (§5's pull protocol), so ``blocked_for_as`` touches only that AS's
+rows.  Each shard carries a monotone version counter and a bounded
+changed-URL log; :meth:`ServerDB.sync_for_as` serves an incremental diff
+against a client-supplied ``since_version``, falling back to a full
+snapshot on first pull or when the log has been truncated past the
+client's version.  TTL expiry is applied at write/pull time through a
+lazy-deletion heap (expired rows are *evicted* and logged as removals),
+never by filtering every row on read.
 """
 
 from __future__ import annotations
 
 import hashlib
+import heapq
 import itertools
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..urlkit import normalize_url
 from .records import BlockType
 from .voting import VoteStats, VotingLedger
 
-__all__ = ["ReportItem", "GlobalEntry", "RegistrationError", "ServerDB"]
+__all__ = [
+    "ReportItem",
+    "GlobalEntry",
+    "RegistrationError",
+    "ServerDB",
+    "SyncResult",
+]
 
 
 class RegistrationError(Exception):
@@ -55,6 +73,69 @@ class GlobalEntry:
         return (self.url, self.asn)
 
 
+@dataclass(frozen=True)
+class SyncResult:
+    """What one pull transfers: a full snapshot or an incremental diff.
+
+    ``entries`` holds every entry the client must (re)store; ``removed``
+    the URLs it must drop (always empty on a full sync — the client
+    replaces its view wholesale).  ``version`` is the shard version the
+    client should present as ``since_version`` on its next pull.
+    """
+
+    asn: int
+    version: int
+    full: bool
+    entries: List[GlobalEntry] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+
+    @property
+    def transferred(self) -> int:
+        """Rows on the wire — what delta sync is minimizing."""
+        return len(self.entries) + len(self.removed)
+
+
+class _AsShard:
+    """One AS's slice of the global database.
+
+    ``version`` increments on every visible change to the shard — entry
+    added, refreshed, evicted, or its vote statistics moved — and ``log``
+    records ``(version, url)`` per change.  The log is bounded: when it
+    outgrows a small multiple of the live table, old rows are forgotten
+    and ``floor`` rises; diffs are only answerable for ``since_version >=
+    floor`` (older clients get a full snapshot).  ``expiry`` is a
+    lazy-deletion min-heap of ``(posted_at, url)`` rows used for
+    write-time TTL eviction: refreshed entries leave stale heap rows
+    behind, skipped when popped because the entry's current ``posted_at``
+    no longer matches.
+    """
+
+    __slots__ = ("entries", "version", "floor", "log", "expiry")
+
+    def __init__(self) -> None:
+        self.entries: Dict[str, GlobalEntry] = {}
+        self.version = 0
+        self.floor = 0
+        self.log: Deque[Tuple[int, str]] = deque()
+        self.expiry: List[Tuple[float, str]] = []
+
+    def mark_changed(self, url: str) -> None:
+        self.version += 1
+        self.log.append((self.version, url))
+        limit = max(256, 4 * len(self.entries))
+        while len(self.log) > limit:
+            self.floor = self.log.popleft()[0]
+
+    def touched_since(self, since_version: int) -> Set[str]:
+        """URLs changed after ``since_version`` (caller checked >= floor)."""
+        touched: Set[str] = set()
+        for version, url in reversed(self.log):
+            if version <= since_version:
+                break
+            touched.add(url)
+        return touched
+
+
 class ServerDB:
     """The measurement collection service (server_DB + global_DB)."""
 
@@ -62,10 +143,18 @@ class ServerDB:
         self.entry_ttl = entry_ttl
         self._uuid_counter = itertools.count(1)
         self._clients: Dict[str, float] = {}  # uuid -> registered_at
-        self._entries: Dict[Tuple[str, int], GlobalEntry] = {}
+        self._shards: Dict[int, _AsShard] = {}
         self.voting = VotingLedger()
         self.update_count = 0  # total accepted updates (Table 7 row)
         self.rejected_registrations = 0
+        self.full_syncs_served = 0
+        self.delta_syncs_served = 0
+
+    def _shard(self, asn: int) -> _AsShard:
+        shard = self._shards.get(asn)
+        if shard is None:
+            shard = self._shards[asn] = _AsShard()
+        return shard
 
     # -- registration ---------------------------------------------------------
 
@@ -98,10 +187,14 @@ class ServerDB:
         if uuid not in self._clients:
             raise RegistrationError(f"unknown client: {uuid!r}")
         accepted = 0
+        keys: List[Tuple[str, int]] = []
+        shards_touched: Dict[int, _AsShard] = {}
         for item in reports:
             url = normalize_url(item.url)
-            key = (url, item.asn)
-            entry = self._entries.get(key)
+            keys.append((url, item.asn))
+            shard = self._shard(item.asn)
+            shards_touched[item.asn] = shard
+            entry = shard.entries.get(url)
             if entry is None:
                 entry = GlobalEntry(
                     url=url,
@@ -112,7 +205,7 @@ class ServerDB:
                     last_uuid=uuid,
                     first_measured_at=item.measured_at,
                 )
-                self._entries[key] = entry
+                shard.entries[url] = entry
             else:
                 entry.posted_at = now
                 entry.measured_at = max(entry.measured_at, item.measured_at)
@@ -120,12 +213,17 @@ class ServerDB:
                 for stage in item.stages:
                     if stage not in entry.stages:
                         entry.stages.append(stage)
+            shard.mark_changed(url)
+            if self.entry_ttl is not None:
+                heapq.heappush(shard.expiry, (now, url))
             accepted += 1
             self.update_count += 1
         if accepted:
-            self.voting.add_client_reports(
-                uuid, [(normalize_url(i.url), i.asn) for i in reports]
-            )
+            affected = self.voting.add_client_reports(uuid, keys)
+            self._mark_vote_changes(affected.difference(keys))
+            # Write-time eviction: stale rows leave with this write.
+            for shard in shards_touched.values():
+                self._evict_expired(shard, now)
         return accepted
 
     def post_dissent(self, uuid: str, url: str, asn: int, now: float) -> bool:
@@ -146,18 +244,48 @@ class ServerDB:
         current = self.voting.reports_of(uuid)
         if key in current:
             current.discard(key)
-            self.voting.set_client_reports(uuid, list(current))
-        if not self.voting.reporters_for(url, asn):
-            self._entries.pop(key, None)
+            affected = self.voting.set_client_reports(uuid, list(current))
+            self._mark_vote_changes(affected)
+        if not self.voting.has_reporters(url, asn):
+            shard = self._shards.get(asn)
+            if shard is not None and shard.entries.pop(url, None) is not None:
+                shard.mark_changed(url)
             return True
         return False
 
-    # -- queries ------------------------------------------------------------------
+    def _mark_vote_changes(self, keys: Iterable[Tuple[str, int]]) -> None:
+        """Bump shard versions for entries whose vote statistics moved.
 
-    def _fresh(self, entry: GlobalEntry, now: float) -> bool:
+        A client growing its report list dilutes its vote on *every* key
+        it vouches for, which can flip entries across a consumer's
+        ``min_votes`` threshold — those entries must surface in the next
+        delta even though nothing re-posted them.
+        """
+        for url, asn in keys:
+            shard = self._shards.get(asn)
+            if shard is not None and url in shard.entries:
+                shard.mark_changed(url)
+
+    # -- TTL eviction -------------------------------------------------------------
+
+    def _evict_expired(self, shard: _AsShard, now: float) -> int:
+        """Pop expired rows off the shard's expiry heap (lazy deletion)."""
         if self.entry_ttl is None:
-            return True
-        return now - entry.posted_at <= self.entry_ttl
+            return 0
+        horizon = now - self.entry_ttl
+        expiry = shard.expiry
+        dropped = 0
+        while expiry and expiry[0][0] < horizon:
+            posted_at, url = heapq.heappop(expiry)
+            entry = shard.entries.get(url)
+            if entry is None or entry.posted_at != posted_at:
+                continue  # refreshed since this heap row, or already gone
+            del shard.entries[url]
+            shard.mark_changed(url)
+            dropped += 1
+        return dropped
+
+    # -- queries ------------------------------------------------------------------
 
     def blocked_for_as(
         self,
@@ -170,27 +298,127 @@ class ServerDB:
 
         Entries failing the confidence criterion — too few reporters or
         too little vote mass — are withheld, bounding what false
-        reporters can inject.
+        reporters can inject.  Only this AS's shard is touched; with the
+        default (accept-all) criterion the pull is a straight copy of the
+        shard, since every stored entry has at least one reporter by
+        construction (posts add a vouch atomically, dissent/revocation
+        drop orphaned entries).
         """
-        result = []
-        for entry in self._entries.values():
-            if entry.asn != asn or not self._fresh(entry, now):
-                continue
-            stats = self.voting.stats(entry.url, entry.asn)
-            if stats.passes(min_reporters=min_reporters, min_votes=min_votes):
-                result.append(entry)
-        return result
+        shard = self._shards.get(asn)
+        if shard is None:
+            return []
+        self._evict_expired(shard, now)
+        if min_reporters <= 1 and min_votes <= 0.0:
+            return list(shard.entries.values())
+        stats = self.voting.stats
+        return [
+            entry
+            for entry in shard.entries.values()
+            if stats(entry.url, asn).passes(min_reporters, min_votes)
+        ]
+
+    def sync_for_as(
+        self,
+        asn: int,
+        now: float,
+        since_version: Optional[int] = None,
+        min_reporters: int = 1,
+        min_votes: float = 0.0,
+    ) -> SyncResult:
+        """Serve one client pull, incrementally when possible.
+
+        ``since_version=None`` (first pull), a version below the shard's
+        log floor (log truncated), or a version from the future (stale
+        client state, e.g. a server restart) all fall back to a full
+        snapshot.  Otherwise only entries touched after ``since_version``
+        travel: re-evaluated against the confidence criterion, they land
+        in ``entries`` (still listed) or ``removed`` (evicted, dissented
+        away, or no longer passing the criterion).
+        """
+        shard = self._shards.get(asn)
+        if shard is None:
+            self.full_syncs_served += 1
+            return SyncResult(asn=asn, version=0, full=True)
+        self._evict_expired(shard, now)
+        stale = (
+            since_version is None
+            or since_version < shard.floor
+            or since_version > shard.version
+        )
+        if stale:
+            self.full_syncs_served += 1
+            return SyncResult(
+                asn=asn,
+                version=shard.version,
+                full=True,
+                entries=self.blocked_for_as(
+                    asn, now, min_reporters=min_reporters, min_votes=min_votes
+                ),
+            )
+        self.delta_syncs_served += 1
+        if since_version == shard.version:
+            return SyncResult(asn=asn, version=shard.version, full=False)
+        changed: List[GlobalEntry] = []
+        removed: List[str] = []
+        stats = self.voting.stats
+        for url in shard.touched_since(since_version):
+            entry = shard.entries.get(url)
+            if entry is not None and stats(url, asn).passes(
+                min_reporters, min_votes
+            ):
+                changed.append(entry)
+            else:
+                removed.append(url)
+        return SyncResult(
+            asn=asn,
+            version=shard.version,
+            full=False,
+            entries=changed,
+            removed=removed,
+        )
+
+    def version_for_as(self, asn: int) -> int:
+        shard = self._shards.get(asn)
+        return shard.version if shard is not None else 0
 
     def stats_for(self, url: str, asn: int) -> VoteStats:
         return self.voting.stats(normalize_url(url), asn)
 
     def entry(self, url: str, asn: int) -> Optional[GlobalEntry]:
-        return self._entries.get((normalize_url(url), asn))
+        shard = self._shards.get(asn)
+        if shard is None:
+            return None
+        return shard.entries.get(normalize_url(url))
 
     def all_entries(self) -> List[GlobalEntry]:
-        return list(self._entries.values())
+        return [
+            entry
+            for shard in self._shards.values()
+            for entry in shard.entries.values()
+        ]
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(shard.entries) for shard in self._shards.values())
+
+    def shard_sizes(self) -> Dict[int, int]:
+        """Per-AS row counts (capacity-planning view for the operators)."""
+        return {asn: len(shard.entries) for asn, shard in self._shards.items()}
 
     def revoke(self, uuid: str) -> None:
-        """Revoke a malicious client: drop identity and vote influence."""
+        """Revoke a malicious client: drop identity and vote influence.
+
+        Entries only the revoked client vouched for are evicted outright,
+        so they surface in the removal half of every consumer's next
+        delta; entries with surviving reporters just get their statistics
+        bumped (their vote mass shrank).
+        """
         self._clients.pop(uuid, None)
-        self.voting.revoke_client(uuid)
+        affected = self.voting.revoke_client(uuid)
+        for url, asn in affected:
+            shard = self._shards.get(asn)
+            if shard is None or url not in shard.entries:
+                continue
+            if not self.voting.has_reporters(url, asn):
+                del shard.entries[url]
+            shard.mark_changed(url)

@@ -38,6 +38,13 @@ class LocalDatabase:
         self._clock = clock or (lambda: 0.0)
         self._records: Dict[str, URLRecord] = {}
         self._index = UrlPrefixIndex()
+        # Maintained on every write so report assembly never scans the
+        # whole table: keys of blocked records, and the subset not yet
+        # posted to the global database.  Dicts-as-ordered-sets keep
+        # iteration deterministic (hash-randomized set order would leak
+        # into report order and break reproducibility).
+        self._blocked_keys: Dict[str, None] = {}
+        self._pending_keys: Dict[str, None] = {}
 
     # -- inspection ---------------------------------------------------------
 
@@ -125,10 +132,23 @@ class LocalDatabase:
             )
             self._records[key] = record
             self._index.add(key)
+        self._track(key, record)
 
         if self.aggregation:
             self._apply_aggregation_cleanup(record)
         return record
+
+    def _track(self, key: str, record: URLRecord) -> None:
+        """Keep the blocked/pending key sets in step with ``record``."""
+        if record.status is BlockStatus.BLOCKED:
+            self._blocked_keys[key] = None
+            if record.global_posted:
+                self._pending_keys.pop(key, None)
+            else:
+                self._pending_keys.setdefault(key)
+        else:
+            self._blocked_keys.pop(key, None)
+            self._pending_keys.pop(key, None)
 
     def _apply_aggregation_cleanup(self, record: URLRecord) -> None:
         parsed = parse_url(record.url)
@@ -154,6 +174,8 @@ class LocalDatabase:
         """Drop every record (fresh-install state; used by experiments)."""
         self._records.clear()
         self._index = UrlPrefixIndex()
+        self._blocked_keys.clear()
+        self._pending_keys.clear()
 
     # -- persistence across client restarts -----------------------------------
 
@@ -199,6 +221,7 @@ class LocalDatabase:
             )
             self._records[record.url] = record
             self._index.add(record.url)
+            self._track(record.url, record)
         return len(self._records)
 
     def expire_records(self, now: Optional[float] = None) -> int:
@@ -216,26 +239,28 @@ class LocalDatabase:
     def _drop(self, key: str) -> None:
         self._records.pop(key, None)
         self._index.remove(key)
+        self._blocked_keys.pop(key, None)
+        self._pending_keys.pop(key, None)
 
     # -- reporting ------------------------------------------------------------
 
     def pending_reports(self) -> List[URLRecord]:
-        """Blocked records not yet posted to the global database."""
-        return [
-            record
-            for record in self._records.values()
-            if record.status is BlockStatus.BLOCKED and not record.global_posted
-        ]
+        """Blocked records not yet posted to the global database.
+
+        Proportional to the pending work, not the table size: the key set
+        is maintained on every write (record/merge/drop/mark_posted).
+        """
+        records = self._records
+        return [records[key] for key in self._pending_keys]
 
     def mark_posted(self, urls: List[str]) -> None:
         for url in urls:
-            record = self._records.get(normalize_url(url))
+            key = normalize_url(url)
+            record = self._records.get(key)
             if record is not None:
                 record.global_posted = True
+                self._pending_keys.pop(key, None)
 
     def blocked_records(self) -> List[URLRecord]:
-        return [
-            record
-            for record in self._records.values()
-            if record.status is BlockStatus.BLOCKED
-        ]
+        records = self._records
+        return [records[key] for key in self._blocked_keys]

@@ -18,7 +18,7 @@ from ..simnet.flow import FlowContext
 from ..simnet.world import World
 from ..urlkit import base_url, normalize_url
 from .config import CSawConfig
-from .globaldb import GlobalEntry, ReportItem, ServerDB
+from .globaldb import GlobalEntry, ReportItem, ServerDB, SyncResult
 from .localdb import LocalDatabase
 
 __all__ = ["GlobalView", "ReportingService", "ensure_collector"]
@@ -37,17 +37,43 @@ def ensure_collector(world: World) -> str:
 
 
 class GlobalView:
-    """Client-side cache of the AS's blocked list from the global_DB."""
+    """Client-side cache of the AS's blocked list from the global_DB.
+
+    Tracks the server-side shard version it last saw (plus which AS that
+    version belongs to), so the next pull can request only the diff.
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[str, GlobalEntry] = {}
         self.last_synced: Optional[float] = None
+        self.version: int = 0
+        self.synced_asn: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def replace(self, entries: List[GlobalEntry], now: float) -> None:
         self._entries = {entry.url: entry for entry in entries}
+        self.last_synced = now
+        self.version = 0
+        self.synced_asn = None
+
+    def since_version(self, asn: int) -> Optional[int]:
+        """What to present to the server: our version, or None (full pull)
+        when we have never synced this AS — e.g. right after mobility."""
+        return self.version if self.synced_asn == asn else None
+
+    def apply_sync(self, result: SyncResult, now: float) -> None:
+        """Fold one :class:`SyncResult` into the cached view."""
+        if result.full:
+            self._entries = {entry.url: entry for entry in result.entries}
+        else:
+            for url in result.removed:
+                self._entries.pop(url, None)
+            for entry in result.entries:
+                self._entries[entry.url] = entry
+        self.version = result.version
+        self.synced_asn = result.asn
         self.last_synced = now
 
     def lookup(self, url: str) -> Optional[GlobalEntry]:
@@ -87,6 +113,9 @@ class ReportingService:
         self.uuid: Optional[str] = None
         self.reports_posted = 0
         self.downloads = 0
+        self.full_syncs = 0
+        self.delta_syncs = 0
+        self.sync_rows_received = 0  # entries + removals over all pulls
         self._collector_url = ensure_collector(world)
 
     @property
@@ -151,20 +180,33 @@ class ReportingService:
         return accepted
 
     def download_blocked_list(self, ctx: FlowContext) -> Generator:
-        """Process: pull this AS's blocked list into the global view."""
+        """Process: pull this AS's blocked list into the global view.
+
+        Presents the view's last-seen shard version so the server can
+        answer with just the diff; the first pull (and any pull after
+        mobility or server-side log truncation) transfers the full
+        snapshot.
+        """
         rpc = yield from self._rpc(ctx)
         if rpc.failed:
             return 0
         now = self.world.env.now
-        entries = self.server.blocked_for_as(
-            self.local_db.asn,
+        asn = self.local_db.asn
+        result = self.server.sync_for_as(
+            asn,
             now,
+            since_version=self.global_view.since_version(asn),
             min_reporters=self.min_reporters,
             min_votes=self.min_votes,
         )
-        self.global_view.replace(entries, now)
+        self.global_view.apply_sync(result, now)
         self.downloads += 1
-        return len(entries)
+        if result.full:
+            self.full_syncs += 1
+        else:
+            self.delta_syncs += 1
+        self.sync_rows_received += result.transferred
+        return len(result.entries)
 
     def run_periodic(self, ctx: FlowContext, until: float) -> Generator:
         """Background process: report + download loops until ``until``."""

@@ -11,6 +11,18 @@ AS k.  The server keeps, per (URL, AS):
 
 Consumers apply a confidence criterion over (s, n) before trusting an
 entry, which bounds the influence any single registered identity can buy.
+
+s_{j,k} is maintained **incrementally**: per key we keep a histogram
+``{d: count}`` of how many reporters currently spread their vote over d
+URLs.  When a client's report count moves from d_old to d_new, only that
+client's keys are touched (decrement the d_old bucket, increment d_new),
+so :meth:`VotingLedger.stats` is a dict read plus a sum over the handful
+of distinct d values — no scan over reporters.  Because the histogram
+holds integers, the incremental path and the from-scratch
+:meth:`recompute_stats` reference produce *bit-identical* floats (both
+sum ``count / d`` over the same sorted buckets); property tests assert
+exact agreement, mirroring the ``linear_on_*`` pattern in
+``censor/compiled.py``.
 """
 
 from __future__ import annotations
@@ -34,56 +46,144 @@ class VoteStats:
         return self.reporters >= min_reporters and self.votes >= min_votes
 
 
+def _hist_votes(hist: Dict[int, int]) -> float:
+    """Σ count/d over the histogram, summed in sorted-bucket order so the
+    incremental and from-scratch paths add the same floats in the same
+    order (exact agreement, not approximate)."""
+    if not hist:
+        return 0.0
+    if len(hist) == 1:
+        (d, count), = hist.items()
+        return count / d
+    votes = 0.0
+    for d in sorted(hist):
+        votes += hist[d] / d
+    return votes
+
+
 class VotingLedger:
     """Tracks which client vouches for which blocked (URL, AS) entries."""
 
     def __init__(self) -> None:
         self._by_client: Dict[str, Set[Key]] = {}
         self._by_key: Dict[Key, Set[str]] = {}
+        # key -> {d: number of reporters currently spreading over d URLs}
+        self._vote_hist: Dict[Key, Dict[int, int]] = {}
 
-    def set_client_reports(self, client_id: str, keys: List[Key]) -> None:
+    # -- incremental histogram maintenance ------------------------------------
+
+    def _hist_add(self, key: Key, d: int) -> None:
+        hist = self._vote_hist.get(key)
+        if hist is None:
+            self._vote_hist[key] = {d: 1}
+        else:
+            hist[d] = hist.get(d, 0) + 1
+
+    def _hist_sub(self, key: Key, d: int) -> None:
+        hist = self._vote_hist[key]
+        count = hist[d] - 1
+        if count:
+            hist[d] = count
+        else:
+            del hist[d]
+            if not hist:
+                del self._vote_hist[key]
+
+    # -- mutation ------------------------------------------------------------
+
+    def set_client_reports(self, client_id: str, keys: List[Key]) -> Set[Key]:
         """Replace the set of blocked entries ``client_id`` vouches for.
 
         Votes are recomputed implicitly: a client reporting d URLs gives
         1/d to each, so growing its report list dilutes its earlier votes
         — the PageRank-style normalization the paper leans on.
+
+        Returns the keys whose (votes, reporters) statistics changed —
+        the set a versioned store must mark dirty for delta sync.
         """
-        new_keys = set(keys)
+        return self._set_reports(client_id, set(keys))
+
+    def add_client_reports(self, client_id: str, keys: List[Key]) -> Set[Key]:
+        """Add entries to a client's vouch set (keeping existing ones)."""
+        old_keys = self._by_client.get(client_id)
+        merged = set(keys) if old_keys is None else old_keys | set(keys)
+        return self._set_reports(client_id, merged)
+
+    def _set_reports(self, client_id: str, new_keys: Set[Key]) -> Set[Key]:
         old_keys = self._by_client.get(client_id, set())
+        if new_keys == old_keys:
+            return set()
+        d_old = len(old_keys)
+        d_new = len(new_keys)
+        by_key = self._by_key
+        hist_add = self._hist_add
+        hist_sub = self._hist_sub
+        affected = old_keys ^ new_keys
         for key in old_keys - new_keys:
-            owners = self._by_key.get(key)
+            owners = by_key.get(key)
             if owners is not None:
                 owners.discard(client_id)
                 if not owners:
-                    del self._by_key[key]
+                    del by_key[key]
+            hist_sub(key, d_old)
+        if d_new != d_old and old_keys:
+            staying = old_keys & new_keys
+            for key in staying:
+                hist_sub(key, d_old)
+                hist_add(key, d_new)
+            affected |= staying
         for key in new_keys - old_keys:
-            self._by_key.setdefault(key, set()).add(client_id)
+            owners = by_key.get(key)
+            if owners is None:
+                by_key[key] = {client_id}
+            else:
+                owners.add(client_id)
+            hist_add(key, d_new)
         if new_keys:
             self._by_client[client_id] = new_keys
         else:
             self._by_client.pop(client_id, None)
+        return affected
 
-    def add_client_reports(self, client_id: str, keys: List[Key]) -> None:
-        """Add entries to a client's vouch set (keeping existing ones)."""
-        merged = list(self._by_client.get(client_id, set()) | set(keys))
-        self.set_client_reports(client_id, merged)
-
-    def revoke_client(self, client_id: str) -> None:
+    def revoke_client(self, client_id: str) -> Set[Key]:
         """Drop a (malicious) client's influence entirely."""
-        self.set_client_reports(client_id, [])
+        return self.set_client_reports(client_id, [])
+
+    # -- queries ------------------------------------------------------------
 
     def stats(self, url: str, asn: int) -> VoteStats:
+        """Incrementally-maintained s/n for one key (no reporter scan)."""
+        key = (url, asn)
+        reporters = self._by_key.get(key)
+        if not reporters:
+            return VoteStats(votes=0.0, reporters=0)
+        return VoteStats(
+            votes=_hist_votes(self._vote_hist.get(key, {})),
+            reporters=len(reporters),
+        )
+
+    def recompute_stats(self, url: str, asn: int) -> VoteStats:
+        """From-scratch reference for :meth:`stats` (the executable spec).
+
+        Rebuilds the d-histogram by walking every reporter of the key;
+        kept O(reporters) on purpose so property tests can assert the
+        incremental path agrees exactly.
+        """
         key = (url, asn)
         reporters = self._by_key.get(key, set())
-        votes = 0.0
+        hist: Dict[int, int] = {}
         for client_id in reporters:
             d = len(self._by_client.get(client_id, ()))
             if d:
-                votes += 1.0 / d
-        return VoteStats(votes=votes, reporters=len(reporters))
+                hist[d] = hist.get(d, 0) + 1
+        return VoteStats(votes=_hist_votes(hist), reporters=len(reporters))
 
     def reporters_for(self, url: str, asn: int) -> Set[str]:
         return set(self._by_key.get((url, asn), set()))
+
+    def has_reporters(self, url: str, asn: int) -> bool:
+        """Cheap existence check (no defensive copy)."""
+        return bool(self._by_key.get((url, asn)))
 
     def client_count(self) -> int:
         return len(self._by_client)

@@ -95,6 +95,11 @@ class PilotReport:
     urls_blockpage: int
     unique_updates: int
     cdn_domains_detected: int
+    # Sync-plane traffic: how the periodic pulls split between full
+    # snapshots and incremental deltas, and the rows that travelled.
+    full_syncs: int = 0
+    delta_syncs: int = 0
+    sync_rows_received: int = 0
 
     def rows(self) -> List[Tuple[str, int]]:
         return [
@@ -108,6 +113,9 @@ class PilotReport:
             ("No. of URLs for which a block page was returned", self.urls_blockpage),
             ("No. of unique updates", self.unique_updates),
             ("CDN domains found blocked (§7.4 finding)", self.cdn_domains_detected),
+            ("Full blocked-list syncs served", self.full_syncs),
+            ("Delta blocked-list syncs served", self.delta_syncs),
+            ("Sync rows transferred", self.sync_rows_received),
         ]
 
 
@@ -342,6 +350,7 @@ class PilotStudy:
             for e in entries
             if parse_url(e.url).host in set(self.cdn_blocked)
         }
+        reporting = [c.reporting for c in self.clients if c.reporting]
         return PilotReport(
             users=self.server.client_count,
             unique_blocked_urls=len(urls),
@@ -353,6 +362,9 @@ class PilotStudy:
             urls_blockpage=len(bp_urls),
             unique_updates=self.server.update_count,
             cdn_domains_detected=len(cdn_detected),
+            full_syncs=sum(r.full_syncs for r in reporting),
+            delta_syncs=sum(r.delta_syncs for r in reporting),
+            sync_rows_received=sum(r.sync_rows_received for r in reporting),
         )
 
 

@@ -244,3 +244,109 @@ class TestLocalDatabase:
                 db.record_measurement(url, BlockStatus.NOT_BLOCKED, [])
             status, _record = db.lookup(url)
             assert status in (BlockStatus.BLOCKED, BlockStatus.NOT_BLOCKED)
+
+
+class TestDirtyKeySets:
+    """pending_reports/blocked_records are served from write-maintained
+    key sets; these tests pin the sets to what a full scan would say."""
+
+    @staticmethod
+    def naive_pending(db):
+        return {
+            r.url
+            for r in db.records()
+            if r.status is BlockStatus.BLOCKED and not r.global_posted
+        }
+
+    @staticmethod
+    def naive_blocked(db):
+        return {r.url for r in db.records() if r.status is BlockStatus.BLOCKED}
+
+    def test_stage_merge_re_dirties_posted_record(self, db):
+        db.record_measurement(
+            "http://a.com/", BlockStatus.BLOCKED, [BlockType.DNS_SERVFAIL]
+        )
+        db.mark_posted(["http://a.com/"])
+        assert db.pending_reports() == []
+        db.record_measurement(
+            "http://a.com/", BlockStatus.BLOCKED, [BlockType.IP_TIMEOUT]
+        )
+        assert [r.url for r in db.pending_reports()] == ["http://a.com/"]
+        # A repeat with no new stage stays clean once posted again.
+        db.mark_posted(["http://a.com/"])
+        db.record_measurement(
+            "http://a.com/", BlockStatus.BLOCKED, [BlockType.IP_TIMEOUT]
+        )
+        assert db.pending_reports() == []
+
+    def test_status_flip_clears_both_sets(self, db):
+        db.record_measurement(
+            "http://a.com/", BlockStatus.BLOCKED, [BlockType.BLOCK_PAGE]
+        )
+        assert len(db.blocked_records()) == 1
+        db.record_measurement("http://a.com/", BlockStatus.NOT_BLOCKED, [])
+        assert db.blocked_records() == []
+        assert db.pending_reports() == []
+
+    def test_expiry_cleans_key_sets(self, db, clock):
+        db.record_measurement(
+            "http://a.com/", BlockStatus.BLOCKED, [BlockType.BLOCK_PAGE]
+        )
+        clock.now = 150.0
+        db.expire_records()
+        assert db.blocked_records() == []
+        assert db.pending_reports() == []
+
+    def test_restore_rebuilds_key_sets(self, db):
+        db.record_measurement(
+            "http://a.com/", BlockStatus.BLOCKED, [BlockType.BLOCK_PAGE]
+        )
+        db.record_measurement(
+            "http://b.com/", BlockStatus.BLOCKED, [BlockType.BLOCK_PAGE]
+        )
+        db.record_measurement("http://c.com/", BlockStatus.NOT_BLOCKED, [])
+        db.mark_posted(["http://a.com/"])
+        snapshot = db.snapshot()
+
+        fresh = LocalDatabase(asn=17557, ttl=100.0, clock=FakeClock())
+        fresh.restore(snapshot)
+        assert self.naive_blocked(fresh) == {"http://a.com/", "http://b.com/"}
+        assert {r.url for r in fresh.blocked_records()} == self.naive_blocked(
+            fresh
+        )
+        assert [r.url for r in fresh.pending_reports()] == ["http://b.com/"]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["record", "post", "flip", "expire"]),
+                st.integers(min_value=0, max_value=3),
+                st.booleans(),
+            ),
+            max_size=40,
+        )
+    )
+    def test_key_sets_match_naive_scan(self, operations):
+        clock = FakeClock()
+        db = LocalDatabase(ttl=100, clock=clock)
+        for op, site, blocked in operations:
+            url = f"http://site{site}.com/"
+            if op == "record":
+                status = (
+                    BlockStatus.BLOCKED if blocked else BlockStatus.NOT_BLOCKED
+                )
+                stages = [BlockType.BLOCK_PAGE] if blocked else []
+                db.record_measurement(url, status, stages)
+            elif op == "post":
+                db.mark_posted([url])
+            elif op == "flip":
+                db.record_measurement(url, BlockStatus.NOT_BLOCKED, [])
+            else:
+                clock.now += 40.0
+                db.expire_records()
+            assert {
+                r.url for r in db.pending_reports()
+            } == self.naive_pending(db)
+            assert {
+                r.url for r in db.blocked_records()
+            } == self.naive_blocked(db)

@@ -173,6 +173,67 @@ class TestReportLifecycle:
         assert url_a == url_b
 
 
+class TestDeltaSyncEndToEnd:
+    def test_periodic_pulls_use_delta_sync(self, scenario):
+        """First pull transfers the full snapshot; every later pull rides
+        the shard version and transfers only the diff."""
+        server = ServerDB()
+        alice = make_client(scenario, "d-alice", server)
+        bob = make_client(scenario, "d-bob", server)
+        world = scenario.world
+
+        def flow():
+            yield from alice.install()
+            response = yield from alice.request(scenario.urls["youtube"])
+            yield response.measurement_process
+            yield from alice.reporting.post_reports(alice.new_ctx())
+            yield from bob.install()  # full snapshot: one entry
+            # Nothing changed since: an empty delta.
+            yield from bob.reporting.download_blocked_list(bob.new_ctx())
+            # Alice reports a second URL; bob picks it up incrementally.
+            response = yield from alice.request(scenario.urls["porn"])
+            yield response.measurement_process
+            yield from alice.reporting.post_reports(alice.new_ctx())
+            yield from bob.reporting.download_blocked_list(bob.new_ctx())
+
+        world.run_process(flow())
+        rep = bob.reporting
+        assert rep.full_syncs == 1  # only the install-time pull
+        assert rep.delta_syncs == 2
+        assert len(bob.global_view) == 2
+        assert bob.global_view.version == server.version_for_as(
+            scenario.isp_a.asn
+        )
+        assert bob.global_view.synced_asn == scenario.isp_a.asn
+        # Rows on the wire: 1 (full) + 0 (empty delta) + 2 (the new entry,
+        # plus the old one whose vote mass moved when alice's d doubled).
+        assert rep.sync_rows_received == 3
+        assert server.full_syncs_served >= 1
+        assert server.delta_syncs_served == 2
+
+    def test_migration_forces_full_resync(self, scenario):
+        """After mobility the cached version belongs to another AS's
+        shard, so the client must not present it as a delta basis."""
+        server = ServerDB()
+        alice = make_client(scenario, "m-alice", server)
+        bob = make_client(scenario, "m-bob", server)
+        world = scenario.world
+
+        def flow():
+            yield from alice.install()
+            response = yield from alice.request(scenario.urls["youtube"])
+            yield response.measurement_process
+            yield from alice.reporting.post_reports(alice.new_ctx())
+            yield from bob.install()
+            yield from bob.reporting.download_blocked_list(bob.new_ctx())
+            yield from bob.migrate([scenario.isp_b])
+
+        world.run_process(flow())
+        assert bob.reporting.delta_syncs == 1  # the pre-migration pull
+        assert bob.reporting.full_syncs == 2  # install + post-migration
+        assert bob.global_view.synced_asn == scenario.isp_b.asn
+
+
 class TestCrowdsourcing:
     def test_second_client_benefits_from_first(self, scenario):
         """The crowdsourcing loop: user A measures, user B downloads and

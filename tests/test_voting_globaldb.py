@@ -1,7 +1,7 @@
 """Tests for the voting ledger and the global database server."""
 
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.globaldb import RegistrationError, ReportItem, ServerDB
@@ -172,3 +172,336 @@ class TestServerDB:
         server.revoke(uuid)
         assert not server.is_registered(uuid)
         assert server.stats_for("http://a.com/", 17557).reporters == 0
+
+    def test_post_update_normalizes_once_consistently(self):
+        """The entry key and the vouch-set key must agree for denormalized
+        input — a mismatch would store an entry nobody's vote backs."""
+        server = ServerDB()
+        uuid = server.register(now=0.0)
+        server.post_update(
+            uuid, self.make_reports(["HTTP://A.com:80/Path"]), now=1.0
+        )
+        entry = server.entry("http://a.com/Path", 17557)
+        assert entry is not None
+        assert entry.url == "http://a.com/Path"
+        stats = server.stats_for("http://a.com/Path", 17557)
+        assert stats.reporters == 1
+        assert stats.votes == pytest.approx(1.0)
+        assert server.blocked_for_as(17557, now=2.0, min_reporters=1) == [entry]
+
+    def test_every_stored_entry_has_a_reporter(self):
+        """The no-orphan invariant the accept-all pull fast path relies on."""
+        server = ServerDB()
+        uuids = [server.register(now=float(i)) for i in range(3)]
+        for uuid in uuids:
+            server.post_update(
+                uuid, self.make_reports(["http://a.com/", "http://b.com/"]),
+                now=1.0,
+            )
+        server.post_dissent(uuids[0], "http://a.com/", 17557, now=2.0)
+        server.revoke(uuids[1])
+        for entry in server.all_entries():
+            assert server.stats_for(entry.url, entry.asn).reporters >= 1
+
+
+class TestIncrementalVotingExactness:
+    """The incremental s_{j,k} must match the from-scratch recompute
+    *exactly* (bit-identical floats), mirroring the compiled-policy
+    linear_on_* reference pattern."""
+
+    URLS = [f"http://u{i}.example.com/" for i in range(5)]
+    ASNS = [17557, 38193]
+    CLIENTS = [f"c{i}" for i in range(5)]
+
+    @staticmethod
+    def assert_exact(ledger, urls, asns):
+        for url in urls:
+            for asn in asns:
+                incremental = ledger.stats(url, asn)
+                reference = ledger.recompute_stats(url, asn)
+                assert incremental == reference  # exact, not approx
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("set"),
+                    st.sampled_from(CLIENTS),
+                    st.lists(
+                        st.tuples(
+                            st.sampled_from(URLS), st.sampled_from(ASNS)
+                        ),
+                        max_size=6,
+                        unique=True,
+                    ),
+                ),
+                st.tuples(
+                    st.just("add"),
+                    st.sampled_from(CLIENTS),
+                    st.lists(
+                        st.tuples(
+                            st.sampled_from(URLS), st.sampled_from(ASNS)
+                        ),
+                        max_size=4,
+                        unique=True,
+                    ),
+                ),
+                st.tuples(
+                    st.just("revoke"),
+                    st.sampled_from(CLIENTS),
+                    st.just([]),
+                ),
+            ),
+            max_size=30,
+        )
+    )
+    def test_ledger_sequences(self, ops):
+        ledger = VotingLedger()
+        for op, client, keys in ops:
+            if op == "set":
+                ledger.set_client_reports(client, keys)
+            elif op == "add":
+                ledger.add_client_reports(client, keys)
+            else:
+                ledger.revoke_client(client)
+        self.assert_exact(ledger, self.URLS, self.ASNS)
+
+    @settings(deadline=None)
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("post"),
+                    st.integers(0, 3),
+                    st.lists(st.integers(0, 4), min_size=1, max_size=4),
+                ),
+                st.tuples(
+                    st.just("dissent"),
+                    st.integers(0, 3),
+                    st.integers(0, 4),
+                ),
+                st.tuples(st.just("revoke"), st.integers(0, 3), st.just(0)),
+            ),
+            max_size=25,
+        )
+    )
+    def test_server_add_dissent_revoke_sequences(self, ops):
+        """Randomized add/dissent/revoke through the ServerDB API keeps the
+        incremental ledger in exact agreement with the recompute."""
+        server = ServerDB(entry_ttl=None)
+        uuids = [server.register(now=float(i)) for i in range(4)]
+        revoked = set()
+        asn = 17557
+        for op, who, what in ops:
+            uuid = uuids[who]
+            if uuid in revoked:
+                continue
+            if op == "post":
+                items = [
+                    ReportItem(
+                        url=self.URLS[i],
+                        asn=asn,
+                        stages=(BlockType.BLOCK_PAGE,),
+                        measured_at=1.0,
+                    )
+                    for i in what
+                ]
+                server.post_update(uuid, items, now=2.0)
+            elif op == "dissent":
+                server.post_dissent(uuid, self.URLS[what], asn, now=3.0)
+            else:
+                server.revoke(uuid)
+                revoked.add(uuid)
+        self.assert_exact(server.voting, self.URLS, [asn])
+        for entry in server.all_entries():
+            assert server.voting.has_reporters(entry.url, entry.asn)
+
+    def test_affected_keys_reported(self):
+        ledger = VotingLedger()
+        a, b, c = [(f"http://k{i}.com/", 1) for i in range(3)]
+        assert ledger.set_client_reports("c1", [a]) == {a}
+        # Growing the set dilutes the vote on *every* key: all affected.
+        assert ledger.add_client_reports("c1", [b, c]) == {a, b, c}
+        # d changes 3 -> 2, so even the staying keys' weights move.
+        assert ledger.set_client_reports("c1", [a, b]) == {a, b, c}
+        # Same-size swap: the staying key's weight is untouched.
+        assert ledger.set_client_reports("c1", [a, c]) == {b, c}
+        assert ledger.revoke_client("c1") == {a, c}
+
+
+class TestDeltaSync:
+    ASN = 17557
+
+    def make_reports(self, urls, asn=ASN):
+        return [
+            ReportItem(
+                url=url,
+                asn=asn,
+                stages=(BlockType.BLOCK_PAGE,),
+                measured_at=1.0,
+            )
+            for url in urls
+        ]
+
+    def test_first_pull_is_full_snapshot(self):
+        server = ServerDB()
+        uuid = server.register(now=0.0)
+        server.post_update(
+            uuid, self.make_reports(["http://a.com/", "http://b.com/"]), now=1.0
+        )
+        result = server.sync_for_as(self.ASN, now=2.0)
+        assert result.full
+        assert {e.url for e in result.entries} == {
+            "http://a.com/",
+            "http://b.com/",
+        }
+        assert result.removed == []
+        assert result.version == server.version_for_as(self.ASN)
+        assert server.full_syncs_served == 1
+
+    def test_unknown_as_pull_is_empty_full(self):
+        server = ServerDB()
+        result = server.sync_for_as(999, now=1.0)
+        assert result.full
+        assert result.entries == [] and result.removed == []
+        assert result.version == 0
+
+    def test_delta_transfers_only_changed_entries(self):
+        server = ServerDB()
+        uuid = server.register(now=0.0)
+        server.post_update(
+            uuid,
+            self.make_reports([f"http://u{i}.com/" for i in range(20)]),
+            now=1.0,
+        )
+        first = server.sync_for_as(self.ASN, now=2.0)
+        # A *different* client posts the new URL — had the same client
+        # posted it, every prior entry's vote mass would dilute and all
+        # 20 would legitimately re-travel.
+        other = server.register(now=2.5)
+        server.post_update(other, self.make_reports(["http://new.com/"]), now=3.0)
+        delta = server.sync_for_as(self.ASN, now=4.0, since_version=first.version)
+        assert not delta.full
+        assert [e.url for e in delta.entries] == ["http://new.com/"]
+        assert delta.removed == []
+        assert delta.transferred == 1
+        assert server.delta_syncs_served == 1
+
+    def test_current_version_yields_empty_delta(self):
+        server = ServerDB()
+        uuid = server.register(now=0.0)
+        server.post_update(uuid, self.make_reports(["http://a.com/"]), now=1.0)
+        first = server.sync_for_as(self.ASN, now=2.0)
+        again = server.sync_for_as(
+            self.ASN, now=3.0, since_version=first.version
+        )
+        assert not again.full
+        assert again.transferred == 0
+        assert again.version == first.version
+
+    def test_future_version_falls_back_to_full(self):
+        """A version the shard never issued (e.g. client state from a
+        different server incarnation) cannot be diffed against."""
+        server = ServerDB()
+        uuid = server.register(now=0.0)
+        server.post_update(uuid, self.make_reports(["http://a.com/"]), now=1.0)
+        result = server.sync_for_as(
+            self.ASN, now=2.0, since_version=server.version_for_as(self.ASN) + 10
+        )
+        assert result.full
+        assert [e.url for e in result.entries] == ["http://a.com/"]
+
+    def test_log_truncation_forces_full_snapshot(self):
+        server = ServerDB()
+        uuid = server.register(now=0.0)
+        server.post_update(uuid, self.make_reports(["http://a.com/"]), now=1.0)
+        stale_version = server.version_for_as(self.ASN)
+        # Churn the same entry until the bounded log forgets the old rows.
+        for i in range(600):
+            server.post_update(
+                uuid, self.make_reports(["http://a.com/"]), now=2.0 + i
+            )
+        result = server.sync_for_as(
+            self.ASN, now=700.0, since_version=stale_version
+        )
+        assert result.full  # stale_version < shard.floor
+
+    def test_ttl_eviction_appears_in_removal_diff(self):
+        server = ServerDB(entry_ttl=100.0)
+        uuid = server.register(now=0.0)
+        server.post_update(uuid, self.make_reports(["http://old.com/"]), now=1.0)
+        first = server.sync_for_as(self.ASN, now=2.0)
+        assert [e.url for e in first.entries] == ["http://old.com/"]
+        server.post_update(uuid, self.make_reports(["http://new.com/"]), now=500.0)
+        delta = server.sync_for_as(
+            self.ASN, now=500.0, since_version=first.version
+        )
+        assert not delta.full
+        assert [e.url for e in delta.entries] == ["http://new.com/"]
+        assert delta.removed == ["http://old.com/"]
+
+    def test_dissent_appears_in_removal_diff(self):
+        server = ServerDB()
+        uuid = server.register(now=0.0)
+        server.post_update(
+            uuid, self.make_reports(["http://a.com/", "http://b.com/"]), now=1.0
+        )
+        first = server.sync_for_as(self.ASN, now=2.0)
+        assert server.post_dissent(uuid, "http://a.com/", self.ASN, now=3.0)
+        delta = server.sync_for_as(self.ASN, now=4.0, since_version=first.version)
+        assert not delta.full
+        assert delta.removed == ["http://a.com/"]
+        # b's stats moved too (d shrank), so it may legitimately re-travel.
+        assert all(e.url == "http://b.com/" for e in delta.entries)
+
+    def test_vote_dilution_crosses_threshold_in_delta(self):
+        """An entry can stop passing min_votes without ever being
+        re-posted: its reporter spreading over more URLs dilutes the vote
+        mass.  The delta must carry that as a removal."""
+        server = ServerDB()
+        uuid = server.register(now=0.0)
+        server.post_update(uuid, self.make_reports(["http://x.com/"]), now=1.0)
+        first = server.sync_for_as(self.ASN, now=2.0, min_votes=0.6)
+        assert [e.url for e in first.entries] == ["http://x.com/"]
+        # Same client reports four more URLs in a *different* AS: d goes
+        # 1 -> 5, so x.com's vote mass drops to 0.2 < 0.6.
+        server.post_update(
+            uuid,
+            self.make_reports(
+                [f"http://other{i}.com/" for i in range(4)], asn=38193
+            ),
+            now=3.0,
+        )
+        delta = server.sync_for_as(
+            self.ASN, now=4.0, since_version=first.version, min_votes=0.6
+        )
+        assert not delta.full
+        assert delta.entries == []
+        assert delta.removed == ["http://x.com/"]
+
+    def test_revoked_client_entries_in_removal_diff(self):
+        """Revocation erases the client's vote mass from the incremental
+        stats; entries only it vouched for leave via the removal diff,
+        co-reported entries survive."""
+        server = ServerDB()
+        bad = server.register(now=0.0)
+        good = server.register(now=0.0)
+        server.post_update(
+            bad, self.make_reports(["http://solo.com/", "http://shared.com/"]),
+            now=1.0,
+        )
+        server.post_update(good, self.make_reports(["http://shared.com/"]), now=1.0)
+        first = server.sync_for_as(self.ASN, now=2.0)
+        assert {e.url for e in first.entries} == {
+            "http://solo.com/",
+            "http://shared.com/",
+        }
+        server.revoke(bad)
+        assert server.stats_for("http://solo.com/", self.ASN).reporters == 0
+        shared = server.stats_for("http://shared.com/", self.ASN)
+        assert shared.reporters == 1
+        assert shared.votes == pytest.approx(1.0)
+        delta = server.sync_for_as(self.ASN, now=3.0, since_version=first.version)
+        assert not delta.full
+        assert delta.removed == ["http://solo.com/"]
+        assert [e.url for e in delta.entries] == ["http://shared.com/"]
