@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report examples all clean
+.PHONY: install test lint bench report examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Determinism & purity linter (DESIGN.md §7); fails on any violation.
+lint:
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON) -m repro.devtools.lint src
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -23,7 +27,7 @@ examples:
 		$(PYTHON) $$script || exit 1; \
 	done
 
-all: test bench report
+all: lint test bench report
 
 clean:
 	rm -rf benchmarks/results .pytest_cache .hypothesis

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set
+from typing import AbstractSet, Dict, List, Sequence, Set
 
 from .middlebox import Middlebox
 
@@ -102,13 +102,18 @@ class FingerprintAnalyzer:
             )
         return scores
 
-    def classify(self, threshold: float = 0.25) -> Set[str]:
-        """Client IPs the censor labels as circumvention-tool users."""
-        return {
-            ip
+    def classify(self, threshold: float = 0.25) -> AbstractSet[str]:
+        """Client IPs the censor labels as circumvention-tool users.
+
+        Returned as an ordered dict-as-set keyed in flow-arrival order,
+        so anything listing the labelled IPs is same-seed stable.
+        """
+        labelled: Dict[str, None] = {
+            ip: None
             for ip, score in self.score_clients().items()
             if score.suspicion >= threshold
         }
+        return labelled.keys()
 
     def evaluate(
         self, true_users: Sequence[str], threshold: float = 0.25

@@ -57,11 +57,17 @@ class MeasurementAnalytics:
         entries = [e for e in self.server.all_entries() if e.asn == asn]
         domains = {registered_domain(parse_url(e.url).host) for e in entries}
         type_counts: Counter = Counter()
-        reporters = set()
+        # Ordered dict-as-set; incoming reporter sets are sorted at the
+        # boundary so insertion order never depends on hash order.
+        reporters: Dict[str, None] = {}
         for entry in entries:
             for stage in entry.stages:
                 type_counts[stage.value] += 1
-            reporters |= self.server.voting.reporters_for(entry.url, entry.asn)
+            reporters.update(
+                dict.fromkeys(
+                    sorted(self.server.voting.reporters_for(entry.url, entry.asn))
+                )
+            )
         return AsSummary(
             asn=asn,
             blocked_urls=len(entries),

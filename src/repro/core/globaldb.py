@@ -278,7 +278,10 @@ class ServerDB:
         while expiry and expiry[0][0] < horizon:
             posted_at, url = heapq.heappop(expiry)
             entry = shard.entries.get(url)
-            if entry is None or entry.posted_at != posted_at:
+            # Exact float compare is intentional: this is stored-value
+            # identity (the heap row's key vs the entry's current field),
+            # not arithmetic on two independently-computed times.
+            if entry is None or entry.posted_at != posted_at:  # csaw-lint: disable=CSL006
                 continue  # refreshed since this heap row, or already gone
             del shard.entries[url]
             shard.mark_changed(url)

@@ -343,7 +343,9 @@ class MeasurementModule:
                     ),
                 )
 
-        pending = {p for p in [direct_proc, *circ_procs] if not p.processed}
+        # Ordered dict-as-set: any_of registers callbacks in iteration
+        # order, so hash-ordered sets here would leak into event order.
+        pending = {p: None for p in [direct_proc, *circ_procs] if not p.processed}
         if direct_proc.processed:
             outcome = direct_proc.value
         try_serve()
@@ -351,7 +353,7 @@ class MeasurementModule:
         while pending:
             fired = yield env.any_of(list(pending))
             for event in fired:
-                pending.discard(event)
+                pending.pop(event, None)
                 if event is direct_proc:
                     outcome = event.value
                 else:
@@ -367,7 +369,7 @@ class MeasurementModule:
                 transport = self.circumvention.choose(url, outcome.stages)
                 if transport is not None:
                     proc = env.process(self._fetch_via(ctx, url, transport))
-                    pending.add(proc)
+                    pending[proc] = None
                     circ_started = True
             try_serve()
 

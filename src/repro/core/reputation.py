@@ -23,7 +23,7 @@ revoked, which removes their vote mass retroactively.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Set
+from typing import AbstractSet, Dict, Set
 
 from .globaldb import ServerDB
 
@@ -96,7 +96,7 @@ class ReputationAnalyzer:
         min_volume: int = 30,
         max_corroboration: float = 0.2,
         clique_similarity: float = 0.9,
-    ) -> Set[str]:
+    ) -> AbstractSet[str]:
         """UUIDs whose behaviour is distinctively malicious.
 
         High-volume reporters are flagged when nobody corroborates them
@@ -105,17 +105,20 @@ class ReputationAnalyzer:
         corroboration still needs the volume to trip the filter, so
         ordinary users who happen to overlap are safe.
         """
-        flagged = set()
+        # Ordered dict-as-set: flag order follows the ledger's client
+        # order, so enforce() revokes (and mutates server change logs)
+        # in the same order on every same-seed run.
+        flagged: Dict[str, None] = {}
         for uuid, profile in self.profiles().items():
             if profile.volume < min_volume:
                 continue
             if profile.corroboration <= max_corroboration:
-                flagged.add(uuid)
+                flagged[uuid] = None
             elif profile.max_similarity >= clique_similarity:
-                flagged.add(uuid)
-        return flagged
+                flagged[uuid] = None
+        return flagged.keys()
 
-    def enforce(self, **thresholds) -> Set[str]:
+    def enforce(self, **thresholds) -> AbstractSet[str]:
         """Flag and revoke; returns the revoked UUIDs."""
         suspects = self.flag_suspects(**thresholds)
         for uuid in suspects:

@@ -1,0 +1,168 @@
+"""Rule framework for ``csaw-lint``.
+
+A *rule* is a small AST analysis with a stable code (``CSL001`` ...), a
+severity, and optional path scoping:
+
+- ``scope``: fnmatch globs the file must match for the rule to apply at
+  all (empty = everywhere).  Used for rules that only make sense inside
+  the simulation stack, e.g. the real-I/O ban.
+- ``allow``: fnmatch globs for files that are exempt (the wall-clock
+  rule allowlists ``runner/core.py``, which legitimately times trials).
+
+Both lists can be extended or overridden per rule from the
+``[tool.csawlint]`` table in ``pyproject.toml``; inline
+``# csaw-lint: disable=CSL00X`` comments suppress single lines.  The
+registry is a plain dict keyed by code so the CLI, the tests, and the
+docs all enumerate exactly the same rule set.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple, Type
+
+__all__ = [
+    "LintContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "register",
+    "suppressed_lines",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding, pinned to a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+    severity: str = "error"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs about one file."""
+
+    path: str  # as given on the command line (display)
+    relpath: str  # posix path relative to the project root (matching)
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    options: Dict[str, object] = field(default_factory=dict)
+
+    def violation(
+        self, rule: "Rule", node: ast.AST, message: Optional[str] = None
+    ) -> Violation:
+        return Violation(
+            code=rule.code,
+            message=message if message is not None else rule.message,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            severity=rule.severity,
+        )
+
+
+class Rule:
+    """Base class; subclasses set the class attributes and ``check``."""
+
+    code: str = "CSL000"
+    name: str = "base"
+    message: str = ""
+    severity: str = "error"
+    #: fnmatch globs the file must match for the rule to run (empty = all)
+    scope: Tuple[str, ...] = ()
+    #: fnmatch globs for exempt files
+    allow: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if self.scope and not any(fnmatch(relpath, g) for g in self.scope):
+            return False
+        return not any(fnmatch(relpath, g) for g in self.allow)
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (codes are unique)."""
+    code = rule_cls.code
+    if code in _REGISTRY and _REGISTRY[code] is not rule_cls:
+        raise ValueError(f"duplicate rule code {code}")
+    _REGISTRY[code] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """The registry, keyed and iterated in code order."""
+    return {code: _REGISTRY[code] for code in sorted(_REGISTRY)}
+
+
+# -- inline suppressions -------------------------------------------------------
+
+_DISABLE_RE = re.compile(r"csaw-lint:\s*disable(?:=(?P<codes>[A-Z0-9,\s]+))?")
+_ALL = frozenset({"*"})
+
+
+def _parse_disable(comment: str) -> Optional[FrozenSet[str]]:
+    match = _DISABLE_RE.search(comment)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if not codes:
+        return _ALL
+    return frozenset(c.strip() for c in codes.split(",") if c.strip())
+
+
+def suppressed_lines(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> codes suppressed there (``{"*"}`` = all codes).
+
+    A trailing ``# csaw-lint: disable=CSL003`` suppresses its own line; a
+    comment on a line of its own also covers the next line, so multi-line
+    statements can be annotated above rather than mid-expression.
+    """
+    suppressed: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        tokens = []
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        codes = _parse_disable(tok.string)
+        if codes is None:
+            continue
+        line = tok.start[0]
+        suppressed[line] = suppressed.get(line, frozenset()) | codes
+        # Standalone comment: nothing but whitespace before it.
+        if tok.line[: tok.start[1]].strip() == "":
+            suppressed[line + 1] = suppressed.get(line + 1, frozenset()) | codes
+    return suppressed
+
+
+def is_suppressed(
+    violation: Violation, suppressed: Dict[int, FrozenSet[str]]
+) -> bool:
+    codes = suppressed.get(violation.line)
+    if not codes:
+        return False
+    return "*" in codes or violation.code in codes
+
+
+def iter_child_scopes(node: ast.AST) -> Iterable[ast.AST]:
+    """Direct children, for rules that manage their own scope recursion."""
+    return ast.iter_child_nodes(node)

@@ -1,0 +1,418 @@
+"""csaw-lint: determinism & purity linter for the C-Saw simulation stack.
+
+Usage::
+
+    csaw-lint src                    # console script
+    python -m repro.devtools.lint src
+
+Configuration lives in ``[tool.csawlint]`` in ``pyproject.toml``:
+
+- ``select``: rule codes to run (default: all registered rules);
+- ``baseline``: path of a committed baseline file (grandfathered
+  findings; see ``--write-baseline``);
+- ``[tool.csawlint.allow]``: per-rule lists of fnmatch globs *added* to
+  the rule's built-in allowlist (files exempt from the rule);
+- ``[tool.csawlint.scope]``: per-rule glob lists *replacing* the rule's
+  built-in scope (files the rule applies to);
+- ``[tool.csawlint.options]``: free-form rule options, e.g. extra
+  ``time-identifiers`` for CSL006.
+
+Inline, ``# csaw-lint: disable=CSL003`` (or a bare ``disable`` for all
+codes) suppresses findings on that line — or on the next line when the
+comment stands alone.  Exit status is 0 iff no unsuppressed,
+non-baselined violations remain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import hashlib
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .framework import (
+    LintContext,
+    Rule,
+    Violation,
+    all_rules,
+    is_suppressed,
+    suppressed_lines,
+)
+from . import rules as _rules  # noqa: F401  (imports register the rule catalogue)
+
+__all__ = ["LintConfig", "lint_paths", "load_config", "main"]
+
+
+# -- configuration -------------------------------------------------------------
+
+
+@dataclass
+class LintConfig:
+    root: str = "."
+    select: Tuple[str, ...] = ()  # empty = all registered
+    allow: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    scope: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    options: Dict[str, object] = field(default_factory=dict)
+    baseline: Optional[str] = None
+
+
+def _parse_minimal_toml(text: str) -> Dict[str, Dict[str, object]]:
+    """Tiny TOML subset parser (fallback when :mod:`tomllib` is absent).
+
+    Understands ``[dotted.section]`` headers and ``key = value`` lines
+    where value is a string, bool, int, or (possibly multi-line) array
+    of strings — exactly what ``[tool.csawlint]`` uses.  Unparseable
+    values are kept as raw strings and ignored by the config loader.
+    """
+    sections: Dict[str, Dict[str, object]] = {}
+    current: Dict[str, object] = sections.setdefault("", {})
+    pending_key: Optional[str] = None
+    pending_chunks: List[str] = []
+
+    def parse_value(raw: str) -> object:
+        raw = raw.strip()
+        if raw.startswith("[") and raw.endswith("]"):
+            return re.findall(r'"((?:[^"\\]|\\.)*)"', raw)
+        if len(raw) >= 2 and raw[0] == raw[-1] == '"':
+            return raw[1:-1]
+        if raw in ("true", "false"):
+            return raw == "true"
+        try:
+            return int(raw)
+        except ValueError:
+            return raw
+
+    for line in text.splitlines():
+        stripped = line.strip()
+        if pending_key is not None:
+            pending_chunks.append(stripped)
+            if stripped.endswith("]"):
+                current[pending_key] = parse_value(" ".join(pending_chunks))
+                pending_key, pending_chunks = None, []
+            continue
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.startswith("[") and stripped.endswith("]"):
+            name = stripped.strip("[]").strip().strip('"')
+            current = sections.setdefault(name, {})
+            continue
+        if "=" in stripped:
+            key, _, raw = stripped.partition("=")
+            raw = raw.split(" #")[0].strip()
+            if raw.startswith("[") and not raw.endswith("]"):
+                pending_key, pending_chunks = key.strip(), [raw]
+                continue
+            current[key.strip()] = parse_value(raw)
+    return sections
+
+
+def _load_toml(path: str) -> Dict[str, object]:
+    with open(path, "rb") as fh:
+        data = fh.read()
+    try:
+        import tomllib  # Python 3.11+
+
+        return tomllib.loads(data.decode("utf-8"))
+    except ImportError:
+        flat = _parse_minimal_toml(data.decode("utf-8"))
+        nested: Dict[str, object] = dict(flat.get("", {}))
+        for section, values in flat.items():
+            if not section:
+                continue
+            node = nested
+            for part in section.split("."):
+                node = node.setdefault(part, {})  # type: ignore[assignment]
+            if isinstance(node, dict):
+                node.update(values)
+        return nested
+
+
+def find_project_root(start: str) -> str:
+    """Nearest ancestor of ``start`` containing a ``pyproject.toml``."""
+    path = os.path.abspath(start)
+    if os.path.isfile(path):
+        path = os.path.dirname(path)
+    while True:
+        if os.path.isfile(os.path.join(path, "pyproject.toml")):
+            return path
+        parent = os.path.dirname(path)
+        if parent == path:
+            return os.path.abspath(os.getcwd())
+        path = parent
+
+
+def load_config(config_path: Optional[str], anchor: str) -> LintConfig:
+    """Load ``[tool.csawlint]`` from an explicit path or the project root."""
+    if config_path is None:
+        root = find_project_root(anchor)
+        config_path = os.path.join(root, "pyproject.toml")
+        if not os.path.isfile(config_path):
+            return LintConfig(root=root)
+    else:
+        root = os.path.dirname(os.path.abspath(config_path)) or "."
+    table = _load_toml(config_path)
+    section = table.get("tool", {})
+    section = section.get("csawlint", {}) if isinstance(section, dict) else {}
+    if not isinstance(section, dict):
+        section = {}
+
+    def globs(value: object) -> Dict[str, Tuple[str, ...]]:
+        if not isinstance(value, dict):
+            return {}
+        return {
+            str(code): tuple(str(g) for g in patterns)
+            for code, patterns in value.items()
+            if isinstance(patterns, (list, tuple))
+        }
+
+    options = section.get("options", {})
+    return LintConfig(
+        root=root,
+        select=tuple(section.get("select", ())),
+        allow=globs(section.get("allow")),
+        scope=globs(section.get("scope")),
+        options=dict(options) if isinstance(options, dict) else {},
+        baseline=section.get("baseline"),
+    )
+
+
+# -- file discovery ------------------------------------------------------------
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in ("__pycache__", ".git")
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(dirpath, name))
+        elif path.endswith(".py"):
+            found.append(path)
+    return found
+
+
+# -- core lint loop ------------------------------------------------------------
+
+
+def _effective_rules(config: LintConfig) -> List[Rule]:
+    selected = []
+    for code, rule_cls in all_rules().items():
+        if config.select and code not in config.select:
+            continue
+        rule = rule_cls()
+        if code in config.scope:
+            rule.scope = tuple(config.scope[code])
+        if code in config.allow:
+            rule.allow = tuple(rule.allow) + tuple(config.allow[code])
+        selected.append(rule)
+    return selected
+
+
+def lint_source(
+    source: str,
+    path: str,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint one in-memory module; ``path`` drives scope/allow matching."""
+    config = config or LintConfig()
+    if rules is None:
+        rules = _effective_rules(config)
+    relpath = os.path.relpath(os.path.abspath(path), config.root).replace(
+        os.sep, "/"
+    )
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                code="CSL999",
+                message=f"syntax error: {exc.msg}",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+            )
+        ]
+    ctx = LintContext(
+        path=path,
+        relpath=relpath,
+        tree=tree,
+        lines=source.splitlines(),
+        options=config.options,
+    )
+    suppressed = suppressed_lines(source)
+    violations: List[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(relpath):
+            continue
+        for violation in rule.check(ctx):
+            if not is_suppressed(violation, suppressed):
+                violations.append(violation)
+    violations.sort(key=lambda v: (v.line, v.col, v.code))
+    return violations
+
+
+def lint_paths(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> List[Violation]:
+    config = config or LintConfig()
+    rules = _effective_rules(config)
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        violations.extend(lint_source(source, path, config, rules))
+    return violations
+
+
+# -- baseline ------------------------------------------------------------------
+
+
+def _baseline_key(violation: Violation, config: LintConfig) -> str:
+    relpath = os.path.relpath(
+        os.path.abspath(violation.path), config.root
+    ).replace(os.sep, "/")
+    return f"{relpath}:{violation.code}"
+
+
+def write_baseline(
+    violations: Iterable[Violation], path: str, config: LintConfig
+) -> None:
+    counts: Dict[str, int] = {}
+    for violation in violations:
+        key = _baseline_key(violation, config)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {"version": 1, "entries": dict(sorted(counts.items()))}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_baseline(path: Optional[str]) -> Dict[str, int]:
+    if not path or not os.path.isfile(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    entries = payload.get("entries", {})
+    return {str(k): int(v) for k, v in entries.items()}
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: Dict[str, int], config: LintConfig
+) -> Tuple[List[Violation], int]:
+    """Drop up to ``baseline[key]`` findings per (file, code); count kept."""
+    remaining = dict(baseline)
+    fresh: List[Violation] = []
+    grandfathered = 0
+    for violation in violations:
+        key = _baseline_key(violation, config)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            grandfathered += 1
+        else:
+            fresh.append(violation)
+    return fresh, grandfathered
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def _hash_fingerprint(violations: Sequence[Violation]) -> str:
+    digest = hashlib.sha256()
+    for violation in violations:
+        digest.update(violation.render().encode("utf-8"))
+    return digest.hexdigest()[:12]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="csaw-lint",
+        description="AST-based determinism & purity linter for the C-Saw "
+        "simulation stack.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or dirs")
+    parser.add_argument(
+        "--select", help="comma-separated rule codes (default: all)"
+    )
+    parser.add_argument("--config", help="explicit pyproject.toml path")
+    parser.add_argument(
+        "--baseline", help="baseline file (overrides [tool.csawlint].baseline)"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="record current findings as the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, rule_cls in all_rules().items():
+            doc = (rule_cls.__doc__ or "").strip().splitlines()[0]
+            print(f"{code}  {rule_cls.name:<28} {doc}")
+        return 0
+
+    paths = list(args.paths) or ["src"]
+    config = load_config(args.config, paths[0])
+    if args.select:
+        config.select = tuple(
+            code.strip() for code in args.select.split(",") if code.strip()
+        )
+
+    violations = lint_paths(paths, config)
+
+    if args.write_baseline:
+        write_baseline(violations, args.write_baseline, config)
+        print(
+            f"csaw-lint: wrote baseline with {len(violations)} finding(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
+
+    baseline_path = args.baseline or config.baseline
+    if baseline_path and not os.path.isabs(baseline_path):
+        baseline_path = os.path.join(config.root, baseline_path)
+    fresh, grandfathered = apply_baseline(
+        violations, load_baseline(baseline_path), config
+    )
+
+    if args.fmt == "json":
+        print(
+            json.dumps(
+                {
+                    "violations": [vars(v) for v in fresh],
+                    "grandfathered": grandfathered,
+                    "fingerprint": _hash_fingerprint(fresh),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for violation in fresh:
+            print(violation.render())
+        summary = f"csaw-lint: {len(fresh)} violation(s)"
+        if grandfathered:
+            summary += f", {grandfathered} grandfathered by baseline"
+        checked = len(iter_python_files(paths))
+        summary += f" across {checked} file(s)"
+        print(summary, file=sys.stderr)
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,657 @@
+"""The csaw-lint rule catalogue (CSL001–CSL007).
+
+Each rule encodes one determinism/purity invariant the paper's numbers
+depend on (DESIGN.md §7 maps rules to figures).  All rules are
+AST-local and deliberately conservative: they prove what they can from
+one file and leave cross-module dataflow to the regression tests, so a
+finding is near-always a true positive and the lint can be enforced at
+zero rather than advisory.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from .framework import LintContext, Rule, Violation, register
+
+__all__ = ["register", "Rule"]
+
+
+# -- shared helpers ------------------------------------------------------------
+
+
+def _module_aliases(tree: ast.Module, module: str) -> Set[str]:
+    """Names bound to ``module`` by top-level or nested plain imports."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _from_imports(tree: ast.Module, module: str) -> Dict[str, ast.ImportFrom]:
+    """Map of names imported ``from module import name`` -> import node."""
+    names: Dict[str, ast.ImportFrom] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                names[alias.asname or alias.name] = node
+    return names
+
+
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` -> ["a", "b", "c"]; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+# -- CSL001: ambient randomness ------------------------------------------------
+
+
+@register
+class AmbientRandomnessRule(Rule):
+    """Module-level ``random.*`` draws bypass the seeded stream registry.
+
+    Every draw must come from a ``random.Random`` threaded in by the
+    caller or an ``RngRegistry`` stream (``simnet/rng.py``); ambient
+    draws pull from interpreter-global state and silently decouple runs
+    from the experiment seed.
+    """
+
+    code = "CSL001"
+    name = "no-ambient-randomness"
+    message = (
+        "ambient randomness: draw from a seeded random.Random / "
+        "RngRegistry stream passed in by the caller"
+    )
+
+    _ALLOWED_ATTRS = {"Random"}
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        aliases = _module_aliases(ctx.tree, "random")
+        from_imports = _from_imports(ctx.tree, "random")
+        flagged_imports = set()
+        for name, node in sorted(from_imports.items()):
+            if name not in self._ALLOWED_ATTRS and id(node) not in flagged_imports:
+                flagged_imports.add(id(node))
+                yield ctx.violation(
+                    self,
+                    node,
+                    "from random import ...: import random.Random and seed "
+                    "it, or accept an rng argument",
+                )
+        if not aliases:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in aliases
+            ):
+                continue
+            if func.attr == "Random":
+                if not node.args and not node.keywords:
+                    yield ctx.violation(
+                        self,
+                        node,
+                        "random.Random() without a seed draws entropy from "
+                        "the OS; pass an explicit seed",
+                    )
+            elif func.attr not in self._ALLOWED_ATTRS:
+                yield ctx.violation(self, node)
+
+
+# -- CSL002: wall-clock time ---------------------------------------------------
+
+
+@register
+class WallClockRule(Rule):
+    """Wall-clock reads inside simulation code break bit-determinism.
+
+    Simulated time is ``env.now``; only the trial runner (which times
+    real execution) and the benchmarks may consult the host clock.
+    """
+
+    code = "CSL002"
+    name = "no-wall-clock"
+    message = "wall-clock read in simulation code: use env.now / simulated time"
+    allow = ("src/repro/runner/core.py", "benchmarks/*")
+
+    _TIME_FUNCS = {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "clock",
+    }
+    _DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        time_aliases = _module_aliases(ctx.tree, "time")
+        dt_module_aliases = _module_aliases(ctx.tree, "datetime")
+        dt_classes = {
+            name
+            for name in _from_imports(ctx.tree, "datetime")
+            if name in {"datetime", "date"}
+        }
+        flagged_imports = set()
+        for name, node in sorted(_from_imports(ctx.tree, "time").items()):
+            if name in self._TIME_FUNCS and id(node) not in flagged_imports:
+                flagged_imports.add(id(node))
+                yield ctx.violation(
+                    self, node, f"from time import {name}: wall-clock source"
+                )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None or len(chain) < 2:
+                continue
+            root, leaf = chain[0], chain[-1]
+            if root in time_aliases and leaf in self._TIME_FUNCS:
+                yield ctx.violation(self, node)
+            elif leaf in self._DATETIME_FUNCS and (
+                (len(chain) == 2 and root in dt_classes)
+                or (
+                    len(chain) == 3
+                    and root in dt_module_aliases
+                    and chain[1] in {"datetime", "date"}
+                )
+            ):
+                yield ctx.violation(
+                    self, node, f"{'.'.join(chain)}(): wall-clock read"
+                )
+
+
+# -- CSL003: unordered iteration -----------------------------------------------
+
+_SET_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+#: builtins whose result does not depend on argument iteration order
+_ORDER_FREE_REDUCERS = {
+    "sum",
+    "len",
+    "min",
+    "max",
+    "any",
+    "all",
+    "set",
+    "frozenset",
+    "sorted",
+}
+#: builtins that materialize iteration order into an ordered value
+_ORDER_SINKS = {"list", "tuple", "enumerate", "iter", "next"}
+
+
+def _is_set_expr(node: ast.AST, setnames: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in setnames
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SET_METHODS
+            and _is_set_expr(func.value, setnames)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, setnames) or _is_set_expr(
+            node.right, setnames
+        )
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """Iterating a set where order can escape is nondeterministic.
+
+    Python sets iterate in hash order, which is randomized per process
+    for strings; any loop, comprehension, or ``list()/tuple()/join()``
+    over a set can therefore differ between two same-seed runs.  Wrap
+    the set in ``sorted()`` or keep an ordered dict-as-set (the
+    ``localdb.py`` idiom).  Order-insensitive reductions
+    (``len``/``sum``/``min``/``max``/``any``/``all``/``set``) and set
+    comprehensions over sets are exempt.  The analysis is file-local:
+    it tracks names assigned set literals/calls/comprehensions and set
+    algebra over them, not sets returned by other functions.
+    """
+
+    code = "CSL003"
+    name = "no-unordered-iteration"
+    message = (
+        "iteration over an unordered set escapes hash order: wrap in "
+        "sorted() or use an ordered dict-as-set"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        out: List[Violation] = []
+        self._scan_block(ctx, ctx.tree.body, set(), out)
+        return iter(out)
+
+    # Scope handling: compound statements share the enclosing scope's
+    # set-name tracking; function/class bodies start fresh.
+    def _scan_block(
+        self,
+        ctx: LintContext,
+        stmts: Sequence[ast.stmt],
+        setnames: Set[str],
+        out: List[Violation],
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                self._scan_block(ctx, stmt.body, set(), out)
+                continue
+            self._check_stmt(ctx, stmt, setnames, out)
+            self._apply_binding(stmt, setnames)
+            for field_name, value in ast.iter_fields(stmt):
+                if field_name in ("body", "orelse", "finalbody"):
+                    if isinstance(value, list):
+                        self._scan_block(ctx, value, setnames, out)
+                elif field_name == "handlers":
+                    for handler in value:
+                        self._scan_block(ctx, handler.body, setnames, out)
+
+    def _apply_binding(self, stmt: ast.stmt, setnames: Set[str]) -> None:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if _is_set_expr(stmt.value, setnames):
+                        setnames.add(target.id)
+                    else:
+                        setnames.discard(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            if stmt.value is not None and _is_set_expr(stmt.value, setnames):
+                setnames.add(stmt.target.id)
+            else:
+                setnames.discard(stmt.target.id)
+
+    def _check_stmt(
+        self,
+        ctx: LintContext,
+        stmt: ast.stmt,
+        setnames: Set[str],
+        out: List[Violation],
+    ) -> None:
+        exprs: List[ast.AST] = []
+        for field_name, value in ast.iter_fields(stmt):
+            if field_name in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            if isinstance(value, ast.AST):
+                exprs.append(value)
+            elif isinstance(value, list):
+                exprs.extend(v for v in value if isinstance(v, ast.AST))
+        # A for-statement iterating a set directly.
+        if isinstance(stmt, (ast.For, ast.AsyncFor)) and _is_set_expr(
+            stmt.iter, setnames
+        ):
+            out.append(ctx.violation(self, stmt.iter))
+        # Tuple-unpacking a set: `a, b = some_set`.
+        if isinstance(stmt, ast.Assign) and _is_set_expr(stmt.value, setnames):
+            if any(
+                isinstance(t, (ast.Tuple, ast.List)) for t in stmt.targets
+            ):
+                out.append(ctx.violation(self, stmt.value))
+        exempt = self._exempt_genexps(exprs)
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if isinstance(
+                    node,
+                    (ast.ListComp, ast.GeneratorExp, ast.DictComp, ast.SetComp),
+                ):
+                    if isinstance(node, ast.SetComp) or id(node) in exempt:
+                        continue
+                    for gen in node.generators:
+                        if _is_set_expr(gen.iter, setnames):
+                            out.append(ctx.violation(self, gen.iter))
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    is_sink = (
+                        isinstance(func, ast.Name) and func.id in _ORDER_SINKS
+                    ) or (
+                        isinstance(func, ast.Attribute) and func.attr == "join"
+                    )
+                    if is_sink:
+                        for arg in node.args:
+                            if _is_set_expr(arg, setnames):
+                                out.append(
+                                    ctx.violation(
+                                        self,
+                                        arg,
+                                        "set order materialized into an "
+                                        "ordered value: sort it first",
+                                    )
+                                )
+
+    def _exempt_genexps(self, exprs: Sequence[ast.AST]) -> Set[int]:
+        exempt: Set[int] = set()
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_FREE_REDUCERS
+                    and len(node.args) == 1
+                    and isinstance(node.args[0], ast.GeneratorExp)
+                ):
+                    exempt.add(id(node.args[0]))
+        return exempt
+
+
+# -- CSL004: real I/O in simulation paths --------------------------------------
+
+
+@register
+class RealIoRule(Rule):
+    """The simulation stack must be closed-world (Encore-style purity).
+
+    ``simnet/`` processes and ``core/`` measurement paths may not open
+    sockets, shell out, or write files: all "network" activity is
+    simulated events, so a real syscall is either an escaped side
+    effect or nondeterministic latency smuggled into the event loop.
+    """
+
+    code = "CSL004"
+    name = "no-real-io"
+    message = "real I/O in a simulation path: simnet/core must stay closed-world"
+    scope = ("src/repro/simnet/*", "src/repro/core/*")
+
+    _IO_ROOTS = {
+        "socket",
+        "subprocess",
+        "requests",
+        "urllib",
+        "ftplib",
+        "smtplib",
+        "shutil",
+        "asyncio",
+    }
+    _IO_MODULES = {"http.client", "http.server"}
+    _OS_CALLS = {
+        "system",
+        "popen",
+        "remove",
+        "unlink",
+        "makedirs",
+        "mkdir",
+        "rmdir",
+        "rename",
+        "replace",
+    }
+    _WRITE_ATTRS = {"write_text", "write_bytes"}
+
+    def _module_banned(self, name: str) -> bool:
+        root = name.split(".", 1)[0]
+        return root in self._IO_ROOTS or name in self._IO_MODULES
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        os_aliases = _module_aliases(ctx.tree, "os")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._module_banned(alias.name):
+                        yield ctx.violation(
+                            self, node, f"import {alias.name}: real I/O module"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and self._module_banned(node.module):
+                    yield ctx.violation(
+                        self, node, f"from {node.module} import: real I/O module"
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, os_aliases)
+
+    def _check_call(
+        self, ctx: LintContext, node: ast.Call, os_aliases: Set[str]
+    ) -> Iterator[Violation]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = None
+            if len(node.args) >= 2:
+                mode = node.args[1]
+            for kw in node.keywords:
+                if kw.arg == "mode":
+                    mode = kw.value
+            if mode is None:
+                return  # default "r": reading config fixtures is tolerated
+            if not isinstance(mode, ast.Constant) or not isinstance(
+                mode.value, str
+            ):
+                yield ctx.violation(
+                    self, node, "open() with a dynamic mode: cannot prove read-only"
+                )
+            elif any(c in mode.value for c in "wax+"):
+                yield ctx.violation(
+                    self, node, "file write in a simulation path"
+                )
+        elif isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id in os_aliases
+                and func.attr in self._OS_CALLS
+            ):
+                yield ctx.violation(
+                    self, node, f"os.{func.attr}(): real side effect"
+                )
+            elif func.attr in self._WRITE_ATTRS:
+                yield ctx.violation(
+                    self, node, f".{func.attr}(): file write in a simulation path"
+                )
+
+
+# -- CSL005: __slots__ on event/record classes ---------------------------------
+
+
+@register
+class SlotsRequiredRule(Rule):
+    """Event/record classes in ``simnet/`` must declare ``__slots__``.
+
+    The PR-1 kernel optimisation relies on slotted events (no per-event
+    ``__dict__``); a new subclass without ``__slots__`` silently
+    re-grows the dict and regresses BENCH_engine.json.
+    """
+
+    code = "CSL005"
+    name = "slots-required"
+    message = (
+        "event/record class without __slots__: declare __slots__ "
+        "(= () if empty) to keep the event kernel dict-free"
+    )
+    scope = ("src/repro/simnet/*",)
+
+    _NAME_RE = re.compile(r"(Event|Record|Packet|Message)$")
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not self._matches(node):
+                continue
+            if self._has_slots(node) or self._dataclass_slots(node):
+                continue
+            yield ctx.violation(self, node)
+
+    def _matches(self, node: ast.ClassDef) -> bool:
+        if self._NAME_RE.search(node.name):
+            return True
+        for base in node.bases:
+            chain = _attr_chain(base)
+            if chain and self._NAME_RE.search(chain[-1]):
+                return True
+        return False
+
+    @staticmethod
+    def _has_slots(node: ast.ClassDef) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__slots__"
+                for t in stmt.targets
+            ):
+                return True
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__slots__"
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _dataclass_slots(node: ast.ClassDef) -> bool:
+        for deco in node.decorator_list:
+            if isinstance(deco, ast.Call):
+                for kw in deco.keywords:
+                    if (
+                        kw.arg == "slots"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        return True
+        return False
+
+
+# -- CSL006: float equality on simulated time ----------------------------------
+
+
+@register
+class SimTimeEqualityRule(Rule):
+    """``==``/``!=`` on simulated-time floats is a latent heisenbug.
+
+    Simulated timestamps are sums of float latencies; exact equality
+    depends on summation order and breaks under any refactor that
+    reassociates it.  Use :func:`repro.simnet.simtime.time_eq` /
+    ``time_ne`` (tolerance comparison) instead.
+    """
+
+    code = "CSL006"
+    name = "no-simtime-float-equality"
+    message = (
+        "==/!= on a simulated-time float: use repro.simnet.simtime.time_eq "
+        "/ time_ne"
+    )
+
+    _TIME_ATTRS = {"now", "time"}
+    _TIME_NAMES = {"now", "sim_time"}
+    _TIME_SUFFIXES = ("_time", "_at")
+
+    def _time_like(self, node: ast.AST, extra: Set[str]) -> bool:
+        if isinstance(node, ast.Attribute):
+            attr = node.attr
+            return (
+                attr in self._TIME_ATTRS
+                or attr in extra
+                or attr.endswith(self._TIME_SUFFIXES)
+            )
+        if isinstance(node, ast.Name):
+            return node.id in self._TIME_NAMES or node.id in extra
+        return False
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        extra = set(ctx.options.get("time-identifiers", ()))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                pair = (left, right)
+                if not any(self._time_like(o, extra) for o in pair):
+                    continue
+                if any(_is_none(o) for o in pair):
+                    continue
+                if any(
+                    isinstance(o, ast.Constant)
+                    and isinstance(o.value, (str, bytes, bool))
+                    for o in pair
+                ):
+                    continue
+                yield ctx.violation(self, node)
+                break
+
+
+# -- CSL007: mutable default arguments -----------------------------------------
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Mutable default arguments are shared state across calls.
+
+    In a simulator that reuses builders across trials, a list/dict/set
+    default quietly carries state from one seed's run into the next.
+    """
+
+    code = "CSL007"
+    name = "no-mutable-default"
+    message = "mutable default argument: default to None and build inside"
+
+    _MUTABLE_CALLS = {
+        "list",
+        "dict",
+        "set",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+        "deque",
+        "bytearray",
+    }
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            return bool(chain) and chain[-1] in self._MUTABLE_CALLS
+        return False
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield ctx.violation(self, default)

@@ -28,6 +28,7 @@ from ..circumvent import (
     TorTransport,
 )
 from ..core import CSawClient, CSawConfig, ServerDB
+from ..simnet.rng import RngRegistry
 from ..simnet.web import WebPage
 from ..simnet.world import World
 
@@ -257,12 +258,14 @@ def staggered_rollout(
     Real distributed censorship rolls out unevenly: the regulator issues
     one order, each ISP applies it hours apart (the §7.5 snapshot shows
     exactly this).  Returns one :class:`BlockingEvent` per (AS, domain),
-    each AS starting ``start + U[0, lag]`` with a deterministic draw when
-    ``rng`` is given.
+    each AS draws its lag as ``start + U[0, lag]``.  Pass a seeded
+    ``random.Random`` (or an ``RngRegistry`` stream) to tie the draws to
+    an experiment seed; the default is the registry's seed-0
+    ``"staggered-rollout"`` stream, so even the no-arg call is
+    reproducible and covered by CSL001.
     """
-    import random as _random
-
-    rng = rng or _random.Random(0)
+    if rng is None:
+        rng = RngRegistry(seed=0).stream("staggered-rollout")
     events = []
     for asn in asns:
         offset = rng.uniform(0.0, lag)

@@ -332,19 +332,23 @@ class PilotStudy:
     def report(self) -> PilotReport:
         entries = self.server.all_entries()
         urls = {e.url for e in entries}
-        domains = {parse_url(e.url).host for e in entries}
         reg_domains = {registered_domain(parse_url(e.url).host) for e in entries}
-        block_types = set()
-        dns_urls, tcp_urls, bp_urls = set(), set(), set()
+        # Ordered dict-as-sets (the localdb.py idiom): only counts escape
+        # today, but hash-ordered sets here would leak into any future
+        # listing of block types/URLs in the report.
+        block_types: Dict[str, None] = {}
+        dns_urls: Dict[str, None] = {}
+        tcp_urls: Dict[str, None] = {}
+        bp_urls: Dict[str, None] = {}
         for entry in entries:
             for stage in entry.stages:
-                block_types.add(stage.value)
+                block_types[stage.value] = None
                 if stage.stage == "dns":
-                    dns_urls.add(entry.url)
+                    dns_urls[entry.url] = None
                 elif stage.value == "tcp-timeout":
-                    tcp_urls.add(entry.url)
+                    tcp_urls[entry.url] = None
                 elif stage.value == "block-page":
-                    bp_urls.add(entry.url)
+                    bp_urls[entry.url] = None
         cdn_detected = {
             parse_url(e.url).host
             for e in entries
