@@ -6,6 +6,9 @@ policies on every protocol stage; if either slows down an order of
 magnitude, every experiment in this repo does too.
 """
 
+import json
+import pathlib
+
 import pytest
 
 from repro.censor.actions import DnsAction, DnsVerdict
@@ -13,6 +16,8 @@ from repro.censor.policy import CensorPolicy, Matcher, Rule
 from repro.core.globaldb import ReportItem, ServerDB
 from repro.core.records import BlockType
 from repro.simnet.engine import Environment
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 def run_timer_storm(n_processes=200, ticks=50):
@@ -139,3 +144,93 @@ def test_globaldb_delta_sync_throughput(benchmark):
         return transferred
 
     assert benchmark(pulls) == 0
+
+
+def run_session_request_storm(rounds=10):
+    """The full request path: session dispatch, Figure-4 detection,
+    circumvention, redundancy, and per-stage trace emission."""
+    from repro.core import CSawClient
+    from repro.core.config import CSawConfig
+    from repro.workloads.scenarios import pakistan_case_study
+
+    scenario = pakistan_case_study(seed=5, with_proxy_fleet=False)
+    world = scenario.world
+    client = CSawClient(
+        world,
+        "bench",
+        [scenario.isp_a],
+        transports=scenario.make_transports("bench"),
+        config=CSawConfig(probe_probability=0.0),
+    )
+    urls = [
+        scenario.urls["small-unblocked"],
+        scenario.urls["youtube"],
+        scenario.urls["table5/tcp-ip"],
+    ]
+    responses = []
+
+    def storm():
+        for _ in range(rounds):
+            for url in urls:
+                response = yield from client.request(url)
+                yield response.measurement_process
+                responses.append(response)
+        return len(responses)
+
+    served = world.run_process(storm())
+    assert served == rounds * len(urls)
+    return responses
+
+
+def test_session_request_throughput(benchmark):
+    """End-to-end request path with tracing on — every served response
+    must carry a non-empty, monotonically stamped stage trace."""
+    responses = benchmark(run_session_request_storm)
+    assert responses
+    for response in responses:
+        trace = response.trace
+        assert trace is not None and len(trace) > 0
+        stamps = [event.t for event in trace.events]
+        assert stamps == sorted(stamps)
+
+
+# Workloads that never enter the session/measurement layer — the refactor
+# budget says the trace bus must be free when no session is running.
+ENGINE_FAST_PATH = ("kernel_timer_storm", "kernel_spawn_join_storm")
+
+
+def _recorded_seconds(label):
+    if not BENCH_JSON.exists():
+        pytest.skip(f"{BENCH_JSON.name} not present")
+    history = json.loads(BENCH_JSON.read_text())
+    if label not in history:
+        pytest.skip(f"label {label!r} not recorded in {BENCH_JSON.name}")
+    return history[label]["seconds"]
+
+
+class TestSessionLayerOverhead:
+    """Guard on the recorded interleaved A/B pair in BENCH_engine.json.
+
+    ``before-session`` (commit c0895d8) and ``after-session`` were
+    recorded as interleaved per-workload subprocess pairs — the only
+    comparison that holds on a drifting single-core box.  The budget:
+    the session layer adds <5% to the engine fast path.  The session
+    request storm itself is allowed to pay for tracing (its cost is
+    recorded and tracked, not capped here).
+    """
+
+    @pytest.mark.parametrize("workload", ENGINE_FAST_PATH)
+    def test_fast_path_within_budget(self, workload):
+        before = _recorded_seconds("before-session")
+        after = _recorded_seconds("after-session")
+        ratio = after[workload] / before[workload]
+        assert ratio < 1.05, (
+            f"{workload}: session layer added {(ratio - 1) * 100:.1f}% "
+            f"to the engine fast path (budget 5%)"
+        )
+
+    def test_session_storm_cost_is_recorded(self):
+        """The request-path cost must be tracked in both labels so the
+        trajectory stays visible across PRs."""
+        for label in ("before-session", "after-session"):
+            assert "session_request_storm" in _recorded_seconds(label)

@@ -197,9 +197,51 @@ def run_voting_update_storm(n_clients=10_000, n_keys=500, reports_each=10):
     return checked
 
 
+def run_session_request_storm(rounds=40):
+    """The end-to-end request path: measurement flows, detection stages,
+    circumvention, and (post-refactor) session trace emission.  The
+    ``before-session``/``after-session`` label pair records what full
+    per-request tracing costs on this pure-python path (recorded
+    interleaved — this box drifts by tens of percent across minutes, so
+    back-to-back label recordings are not comparable)."""
+    from repro.core import CSawClient
+    from repro.core.config import CSawConfig
+    from repro.workloads.scenarios import pakistan_case_study
+
+    scenario = pakistan_case_study(seed=5, with_proxy_fleet=False)
+    world = scenario.world
+    client = CSawClient(
+        world,
+        "bench",
+        [scenario.isp_a],
+        transports=scenario.make_transports("bench"),
+        config=CSawConfig(probe_probability=0.0),
+    )
+    urls = [
+        scenario.urls["small-unblocked"],
+        scenario.urls["youtube"],
+        scenario.urls["table5/tcp-ip"],
+    ]
+    served = 0
+
+    def storm():
+        count = 0
+        for index in range(rounds):
+            for url in urls:
+                response = yield from client.request(url)
+                yield response.measurement_process
+                count += 1
+        return count
+
+    served = world.run_process(storm())
+    assert served == rounds * len(urls)
+    return served
+
+
 WORKLOADS = {
     "kernel_timer_storm": run_timer_storm,
     "kernel_spawn_join_storm": run_spawn_join_storm,
+    "session_request_storm": run_session_request_storm,
     "policy_dns_lookups": run_policy_lookups,
     "policy_multirule_compiled": run_policy_multirule_compiled,
     "policy_multirule_linear": run_policy_multirule_linear,

@@ -1,5 +1,10 @@
 """Analysis helpers: CDFs, percentiles, summaries, table rendering."""
 
+from .plt_decomposition import (
+    decompose,
+    merge_breakdowns,
+    render_plt_decomposition,
+)
 from .robustness import SeedSweep, across_seeds, claim_holds
 from .stats import Summary, cdf_points, mean, median, percentile, summarize
 from .tables import format_seconds, render_table
@@ -16,4 +21,7 @@ __all__ = [
     "summarize",
     "format_seconds",
     "render_table",
+    "decompose",
+    "merge_breakdowns",
+    "render_plt_decomposition",
 ]

@@ -29,16 +29,15 @@ __all__ = [
 
 
 def classify_failure(error: Exception) -> str:
-    """Protocol stage a failure belongs to: dns | tcp | tls | http | other."""
-    if isinstance(error, DnsError):
-        return "dns"
-    if isinstance(error, TcpError):
-        return "tcp"
-    if isinstance(error, TlsError):
-        return "tls"
-    if isinstance(error, HttpTimeout):
-        return "http"
-    return "other"
+    """Protocol stage a failure belongs to: dns | tcp | tls | http | other.
+
+    Thin delegator to :mod:`repro.core.taxonomy`, the single source of
+    truth for failure classification.  Imported lazily: ``repro.core``
+    eagerly imports this module, so a top-level import would be circular.
+    """
+    from ..core.taxonomy import failure_class
+
+    return failure_class(error)
 
 
 @dataclass
@@ -101,6 +100,31 @@ class Transport:
         """Process returning a :class:`FetchResult`.  Must not raise for
         network failures (fold them into the result)."""
         raise NotImplementedError
+
+    def traced_fetch(
+        self, world: World, ctx: FlowContext, url: str, trace=None
+    ) -> Generator:
+        """Process: :meth:`fetch` wrapped with per-attempt trace events.
+
+        With a :class:`~repro.core.trace.SessionTrace`, emits an
+        ``attempt`` event when the fetch starts and a ``result`` event
+        (duration + ok/failure stage) when it completes, onto the
+        ``transport:<name>`` stage.  With ``trace=None`` it is exactly
+        ``fetch`` — emission never touches the simulation schedule.
+        """
+        if trace is None:
+            result = yield from self.fetch(world, ctx, url)
+            return result
+        # Stage label kept in sync with repro.core.trace.transport_stage
+        # (string literal here: repro.core imports this module eagerly).
+        stage = "transport:" + self.name
+        started = trace.attempt(stage, self.name)
+        result = yield from self.fetch(world, ctx, url)
+        trace.result(
+            stage, started, self.name,
+            "ok" if result.ok else (result.failure_stage or "failed"),
+        )
+        return result
 
     def __repr__(self) -> str:
         return f"<Transport {self.name}>"

@@ -25,6 +25,15 @@ from .multihoming import MultihomingManager
 from .records import BlockStatus, BlockType, URLRecord
 from .reporting import GlobalView, ReportingService, ensure_collector
 from .reputation import ClientProfile, ReputationAnalyzer
+from .session import MeasurementSession
+from .taxonomy import (
+    UnclassifiedFailureError,
+    block_type_for,
+    dns_block_type,
+    failure_class,
+    failure_class_for,
+)
+from .trace import SessionTrace, TraceEvent
 from .voting import VoteStats, VotingLedger
 
 __all__ = [
@@ -60,6 +69,14 @@ __all__ = [
     "ensure_collector",
     "ClientProfile",
     "ReputationAnalyzer",
+    "MeasurementSession",
+    "UnclassifiedFailureError",
+    "block_type_for",
+    "dns_block_type",
+    "failure_class",
+    "failure_class_for",
+    "SessionTrace",
+    "TraceEvent",
     "VoteStats",
     "VotingLedger",
 ]

@@ -248,4 +248,8 @@ class CSawClient:
             ),
             "data_used_bytes": self.measurement.total_bytes,
             "redundant_data_bytes": self.measurement.redundant_bytes,
+            # Where page-load time went, summed over finished sessions
+            # (stage → sim-seconds; see analysis.plt_decomposition).
+            "plt_breakdown": dict(self.measurement.stage_seconds),
+            "sessions_completed": self.measurement.sessions_completed,
         }

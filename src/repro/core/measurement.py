@@ -1,6 +1,8 @@
 """The measurement module: Algorithm 1 plus redundancy and 2-phase serving.
 
-Per user request for a URL:
+Per user request for a URL, :meth:`MeasurementModule.handle_request`
+spawns one :class:`~repro.core.session.MeasurementSession` which drives
+the flow the local_DB dictates:
 
 - ``not-measured`` (not in the local_DB, not in the global view): issue
   *redundant requests* — one on the direct path (running the Figure-4
@@ -20,20 +22,19 @@ Per user request for a URL:
 ``handle_request`` returns as soon as content is served; measurement
 bookkeeping continues in a background process (exposed as
 ``ServedResponse.measurement_process`` so experiments can join on it).
+Every response carries the session's full stage trace
+(``ServedResponse.trace``); the module aggregates per-stage durations
+into ``stage_seconds`` — the PLT breakdown ``CSawClient.stats()`` and
+the pilot report surface.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, List, Optional
+from typing import Dict, Generator, List, Optional
 
-from ..circumvent.base import FetchResult, Transport, classify_failure
-from ..simnet.dns import DnsTimeout, NxDomain, Refused, ServFail
+from ..circumvent.base import FetchResult, Transport
 from ..simnet.flow import FlowContext
-from ..simnet.http import HttpTimeout
-from ..simnet.ipaddr import is_private
-from ..simnet.tcp import ConnectionReset, ConnectTimeout, TcpError
-from ..simnet.tls import TlsReset, TlsTimeout
 from ..simnet.world import World
 from .blockpage import BlockpageDetector
 from .circumvention import CircumventionModule
@@ -42,6 +43,9 @@ from .detection import DetectionOutcome, measure_direct_path
 from .localdb import LocalDatabase
 from .records import BlockStatus, BlockType
 from .reporting import GlobalView
+from .session import MeasurementSession
+from .taxonomy import failure_class
+from .trace import SessionTrace
 
 __all__ = ["ServedResponse", "MeasurementModule"]
 
@@ -66,6 +70,7 @@ class ServedResponse:
     corrected_plt: Optional[float] = None
     probe_ran: bool = False
     measurement_process: Optional[object] = None
+    trace: Optional[SessionTrace] = None  # full session stage trace
 
     @property
     def ok(self) -> bool:
@@ -75,25 +80,6 @@ class ServedResponse:
     def effective_plt(self) -> float:
         """PLT including the refresh when the first render was a block page."""
         return self.corrected_plt if self.corrected else self.plt
-
-
-def _failure_block_type(error: Exception) -> Optional[BlockType]:
-    """Map a transport failure to the blocking symptom it suggests."""
-    mapping = [
-        (DnsTimeout, BlockType.DNS_TIMEOUT),
-        (NxDomain, BlockType.DNS_NXDOMAIN),
-        (ServFail, BlockType.DNS_SERVFAIL),
-        (Refused, BlockType.DNS_REFUSED),
-        (ConnectTimeout, BlockType.IP_TIMEOUT),
-        (ConnectionReset, BlockType.IP_RST),
-        (TlsTimeout, BlockType.SNI_TIMEOUT),
-        (TlsReset, BlockType.SNI_RST),
-        (HttpTimeout, BlockType.HTTP_TIMEOUT),
-    ]
-    for cls, block_type in mapping:
-        if isinstance(error, cls):
-            return block_type
-    return None
 
 
 class MeasurementModule:
@@ -129,6 +115,10 @@ class MeasurementModule:
         # bytes fetched for URLs the direct path served fine.
         self.bytes_by_path: dict = {}
         self.redundant_bytes = 0
+        # Per-stage PLT decomposition, summed over finished sessions
+        # (insertion-ordered by first completion — deterministic).
+        self.stage_seconds: Dict[str, float] = {}
+        self.sessions_completed = 0
         # Optional MultihomingManager; when set, measurements are pinned to
         # the stricter observation on multihomed networks (§4.4).
         self.multihoming = None
@@ -162,40 +152,35 @@ class MeasurementModule:
         if method not in ("GET", "POST"):
             raise ValueError(f"unsupported method: {method!r}")
         self.requests_handled += 1
-        served_event = env.event()
-        worker = env.process(
-            self._dispatch(ctx, url, served_event, duplicable=method == "GET")
-        )
-        response = yield served_event
+        session = self.new_session(url, ctx, duplicable=method == "GET")
+        worker = env.process(session.run())
+        response = yield session.served_event
         response.measurement_process = worker
         return response
 
-    # -- dispatch per Algorithm 1 ------------------------------------------------
+    def new_session(
+        self,
+        url: str,
+        ctx: Optional[FlowContext] = None,
+        duplicable: bool = True,
+    ) -> MeasurementSession:
+        """Build a session without starting it — callers that need the
+        trace bus (subscribe/cancel/deadline hooks) before the first
+        event fires use this, then ``env.process(session.run())``."""
+        return MeasurementSession(
+            self, ctx or self.ctx, url, duplicable=duplicable
+        )
 
-    def _dispatch(
-        self, ctx: FlowContext, url: str, served, duplicable: bool = True
-    ) -> Generator:
-        status, record = self.local_db.lookup(url)
-        if status is BlockStatus.NOT_MEASURED:
-            entry = self.global_view.lookup(url)
-            if entry is not None:
-                result = yield from self._blocked_flow(
-                    ctx, url, list(entry.stages), served,
-                    from_global=True, duplicable=duplicable,
-                )
-            else:
-                result = yield from self._unknown_flow(
-                    ctx, url, served, duplicable=duplicable
-                )
-        elif status is BlockStatus.BLOCKED:
-            result = yield from self._blocked_flow(
-                ctx, url, list(record.stages), served, duplicable=duplicable
+    def absorb_trace(self, trace: SessionTrace) -> None:
+        """Fold one finished session's per-stage durations into the
+        module-level PLT breakdown."""
+        for stage, seconds in trace.stage_durations().items():
+            self.stage_seconds[stage] = (
+                self.stage_seconds.get(stage, 0.0) + seconds
             )
-        else:
-            result = yield from self._unblocked_flow(ctx, url, served)
-        return result
+        self.sessions_completed += 1
 
-    # -- plumbing -----------------------------------------------------------------
+    # -- plumbing (shared by the session flows) --------------------------------
 
     def _serve(self, served_event, response: ServedResponse) -> ServedResponse:
         if not served_event.triggered:
@@ -219,25 +204,42 @@ class MeasurementModule:
         return sum(self.bytes_by_path.values())
 
     def _fetch_via(
-        self, ctx: FlowContext, url: str, transport: Transport
+        self,
+        ctx: FlowContext,
+        url: str,
+        transport: Transport,
+        trace: Optional[SessionTrace] = None,
     ) -> Generator:
-        result = yield from self._with_load(
-            ctx, transport.fetch(self.world, ctx, url)
-        )
+        # Load tracking is inlined (not via _with_load) so the fetch
+        # pipeline sits one generator frame shallower — every simnet
+        # event resume walks the whole yield-from chain.
+        ctx.load.enter()
+        try:
+            result = yield from transport.traced_fetch(
+                self.world, ctx, url, trace=trace
+            )
+        finally:
+            ctx.load.exit()
         if result.ok:
             self.circumvention.record_plt(transport.name, url, result.elapsed)
             self._count_bytes(transport.name, result.response.size_bytes)
         return result
 
     def _measure_direct(
-        self, ctx: FlowContext, url: str, first_byte=None
+        self,
+        ctx: FlowContext,
+        url: str,
+        first_byte=None,
+        trace: Optional[SessionTrace] = None,
     ) -> Generator:
-        outcome = yield from self._with_load(
-            ctx,
-            measure_direct_path(
-                self.world, ctx, url, self.detector, first_byte=first_byte
-            ),
-        )
+        ctx.load.enter()
+        try:
+            outcome = yield from measure_direct_path(
+                self.world, ctx, url, self.detector,
+                first_byte=first_byte, trace=trace,
+            )
+        finally:
+            ctx.load.exit()
         if outcome.response is not None:
             self._count_bytes("direct", outcome.response.size_bytes)
         return outcome
@@ -252,345 +254,6 @@ class MeasurementModule:
             response=outcome.response,
             error=outcome.error,
             failure_stage=(
-                classify_failure(outcome.error) if outcome.error else None
-            ),
-        )
-
-    # -- not-measured: redundant requests -----------------------------------------
-
-    def _unknown_flow(
-        self, ctx: FlowContext, url: str, served, duplicable: bool = True
-    ) -> Generator:
-        env = self.world.env
-        t0 = env.now
-        config = self.config
-        relay = self.circumvention.relay_for(url)
-
-        first_byte = env.event()
-        direct_proc = env.process(
-            self._measure_direct(ctx, url, first_byte=first_byte)
-        )
-        circ_procs: List = []
-
-        want_parallel = (
-            duplicable
-            and config.redundancy_mode == "parallel"
-            and relay is not None
-            and config.max_redundant_requests >= 2
-        )
-        if want_parallel and config.redundant_delay > 0:
-            # Stagger the duplicate; skip it when the direct path starts
-            # answering within the delay (footnote 10: "if we get a
-            # response from the direct path within 2s, we do not send a
-            # request on Tor").
-            yield env.any_of(
-                [direct_proc, first_byte, env.timeout(config.redundant_delay)]
-            )
-            if direct_proc.processed or first_byte.triggered:
-                want_parallel = False
-        if want_parallel and not direct_proc.processed:
-            circ_procs = [
-                env.process(self._fetch_via(ctx, url, relay))
-                for _ in range(config.max_redundant_requests - 1)
-            ]
-
-        outcome: Optional[DetectionOutcome] = None
-        circ_results: List[FetchResult] = []
-        response: Optional[ServedResponse] = None
-        circ_started = bool(circ_procs)
-
-        def circ_success() -> Optional[FetchResult]:
-            for result in circ_results:
-                if result.ok:
-                    return result
-            return None
-
-        def try_serve() -> None:
-            nonlocal response
-            if response is not None:
-                return
-            if (
-                outcome is not None
-                and outcome.status is BlockStatus.NOT_BLOCKED
-                and not outcome.suspected_blockpage
-                and outcome.response is not None
-            ):
-                response = self._serve(
-                    served,
-                    ServedResponse(
-                        url=url,
-                        plt=env.now - t0,
-                        served=self._detection_as_fetch(outcome),
-                        path="direct",
-                        detection=outcome,
-                    ),
-                )
-                return
-            winner = circ_success()
-            if winner is not None and (
-                outcome is None
-                or outcome.blocked
-                or outcome.suspected_blockpage
-            ):
-                response = self._serve(
-                    served,
-                    ServedResponse(
-                        url=url,
-                        plt=env.now - t0,
-                        served=winner,
-                        path=winner.transport,
-                        detection=outcome,
-                    ),
-                )
-
-        # Ordered dict-as-set: any_of registers callbacks in iteration
-        # order, so hash-ordered sets here would leak into event order.
-        pending = {p: None for p in [direct_proc, *circ_procs] if not p.processed}
-        if direct_proc.processed:
-            outcome = direct_proc.value
-        try_serve()
-
-        while pending:
-            fired = yield env.any_of(list(pending))
-            for event in fired:
-                pending.pop(event, None)
-                if event is direct_proc:
-                    outcome = event.value
-                else:
-                    circ_results.append(event.value)
-            # Direct path classified as blocked/suspect and no duplicate in
-            # flight: launch circumvention now (serial mode, k=1, or the
-            # stagger timer having skipped the duplicate).
-            if (
-                outcome is not None
-                and not circ_started
-                and (outcome.blocked or outcome.suspected_blockpage)
-            ):
-                transport = self.circumvention.choose(url, outcome.stages)
-                if transport is not None:
-                    proc = env.process(self._fetch_via(ctx, url, transport))
-                    pending[proc] = None
-                    circ_started = True
-            try_serve()
-
-        return self._finalize_unknown(
-            ctx, url, t0, served, outcome, circ_results, response
-        )
-
-    def _finalize_unknown(
-        self,
-        ctx: FlowContext,
-        url: str,
-        t0: float,
-        served,
-        outcome: Optional[DetectionOutcome],
-        circ_results: List[FetchResult],
-        response: Optional[ServedResponse],
-    ) -> ServedResponse:
-        env = self.world.env
-        stages = list(outcome.stages) if outcome else []
-        comparator = next((r for r in circ_results if r.ok), None)
-
-        if outcome is None:
-            status = BlockStatus.NOT_MEASURED
-        elif outcome.suspected_blockpage:
-            status = BlockStatus.BLOCKED
-            if comparator is not None and not self.detector.phase2(
-                outcome.response, comparator.response
-            ):
-                # Phase-1 false positive: sizes match, the page is real.
-                status = BlockStatus.NOT_BLOCKED
-                if BlockType.BLOCK_PAGE in stages:
-                    stages.remove(BlockType.BLOCK_PAGE)
-        elif outcome.status is BlockStatus.NOT_BLOCKED and outcome.response is not None:
-            status = BlockStatus.NOT_BLOCKED
-            if comparator is not None and self.detector.phase2(
-                outcome.response, comparator.response
-            ):
-                # Phase-1 false negative: the served page was a block page.
-                # Correct it by refreshing with the circumvented content.
-                status = BlockStatus.BLOCKED
-                stages.append(BlockType.BLOCK_PAGE)
-                if response is not None and response.path == "direct":
-                    response.corrected = True
-                    response.corrected_plt = env.now - t0
-                    response.served = comparator
-                    response.path = comparator.transport
-        else:
-            status = outcome.status
-
-        if response is None:
-            # Nothing servable arrived (direct failed, circumvention failed
-            # or unavailable): serve the direct-path failure.
-            fetch = self._detection_as_fetch(outcome) if outcome else None
-            response = self._serve(
-                served,
-                ServedResponse(
-                    url=url,
-                    plt=env.now - t0,
-                    served=fetch,
-                    path="direct",
-                    detection=outcome,
-                ),
-            )
-
-        if status is not BlockStatus.NOT_MEASURED:
-            self._record(url, status, stages)
-        if status is BlockStatus.NOT_BLOCKED:
-            # The duplicates were pure overhead (§8 data-usage concern).
-            self.redundant_bytes += sum(
-                r.response.size_bytes for r in circ_results if r.ok
-            )
-        response.status = status
-        response.stages = stages
-        return response
-
-    # -- blocked: circumvent (+ probabilistic direct probe) -------------------------
-
-    def _blocked_flow(
-        self,
-        ctx: FlowContext,
-        url: str,
-        stages: List[BlockType],
-        served,
-        from_global: bool = False,
-        duplicable: bool = True,
-    ) -> Generator:
-        env = self.world.env
-        t0 = env.now
-        transport = self.circumvention.choose(url, stages)
-        if transport is None:
-            # No circumvention available at all: degenerate to direct.
-            result = yield from self._unblocked_flow(ctx, url, served)
-            return result
-
-        # Local fixes ride the direct path, which measures it implicitly;
-        # relay approaches probe the direct path with probability p.
-        probe_proc = None
-        if duplicable and not transport.is_local_fix and self.rng.random() < self.config.probe_probability:
-            probe_proc = env.process(self._measure_direct(ctx, url))
-            self.probes_launched += 1
-
-        result = yield env.process(self._fetch_via(ctx, url, transport))
-
-        if result.failed:
-            # The chosen approach stopped working (fix defeated or relay
-            # blocked).  Merge the fresh symptom and fall back to a relay.
-            if transport.is_local_fix:
-                self.circumvention.mark_fix_failed(url, transport.name)
-            symptom = _failure_block_type(result.error) if result.error else None
-            if (
-                isinstance(result.error, TcpError)
-                and is_private(result.error.dst_ip)
-            ):
-                # Dead connect into private space: an artifact of forged
-                # DNS (the redirect target), not separate IP blocking.
-                symptom = None
-            if symptom is not None and symptom not in stages:
-                stages.append(symptom)
-            fallback = self.circumvention.relay_for(url)
-            if fallback is not None and fallback.name != transport.name:
-                retry = yield env.process(self._fetch_via(ctx, url, fallback))
-                if retry.ok:
-                    result = retry
-
-        response = self._serve(
-            served,
-            ServedResponse(
-                url=url,
-                plt=env.now - t0,
-                served=result,
-                path=result.transport,
-                status=BlockStatus.BLOCKED,
-                stages=list(stages),
-                probe_ran=probe_proc is not None,
-            ),
-        )
-
-        # Refresh the record (extends T_m; merges any new stage evidence).
-        self._record(url, BlockStatus.BLOCKED, stages)
-
-        if probe_proc is not None:
-            outcome = yield probe_proc
-            if (
-                outcome.status is BlockStatus.NOT_BLOCKED
-                and not outcome.suspected_blockpage
-                and outcome.response is not None
-            ):
-                # Whitelisted (Blocked→Unblocked churn) or a false report
-                # from the global_DB: the direct path works.
-                self._record(url, BlockStatus.NOT_BLOCKED, [])
-                response.status = BlockStatus.NOT_BLOCKED
-                response.stages = []
-            else:
-                merged = list(stages)
-                for stage in outcome.stages:
-                    if stage not in merged:
-                        merged.append(stage)
-                self._record(url, BlockStatus.BLOCKED, merged)
-                response.stages = merged
-        return response
-
-    # -- not-blocked: direct only, always measured -----------------------------------
-
-    def _unblocked_flow(self, ctx: FlowContext, url: str, served) -> Generator:
-        env = self.world.env
-        t0 = env.now
-        outcome = yield from self._measure_direct(ctx, url)
-
-        if (
-            outcome.status is BlockStatus.NOT_BLOCKED
-            and not outcome.suspected_blockpage
-            and outcome.response is not None
-        ):
-            self._record(url, BlockStatus.NOT_BLOCKED, [])
-            return self._serve(
-                served,
-                ServedResponse(
-                    url=url,
-                    plt=env.now - t0,
-                    served=self._detection_as_fetch(outcome),
-                    path="direct",
-                    status=BlockStatus.NOT_BLOCKED,
-                    detection=outcome,
-                ),
-            )
-
-        # Unblocked→Blocked churn (or a dead site): recover through
-        # circumvention and re-record.
-        stages = list(outcome.stages)
-        transport = self.circumvention.choose(url, stages)
-        circ = None
-        if transport is not None:
-            circ = yield env.process(self._fetch_via(ctx, url, transport))
-
-        status = BlockStatus.BLOCKED if outcome.blocked else outcome.status
-        if outcome.suspected_blockpage and circ is not None and circ.ok:
-            if not self.detector.phase2(outcome.response, circ.response):
-                status = BlockStatus.NOT_BLOCKED
-                if BlockType.BLOCK_PAGE in stages:
-                    stages.remove(BlockType.BLOCK_PAGE)
-
-        if circ is not None and circ.ok and status is BlockStatus.BLOCKED:
-            served_fetch, path = circ, circ.transport
-        elif status is BlockStatus.NOT_BLOCKED and outcome.response is not None:
-            served_fetch, path = self._detection_as_fetch(outcome), "direct"
-        elif circ is not None and circ.ok:
-            served_fetch, path = circ, circ.transport
-        else:
-            served_fetch, path = self._detection_as_fetch(outcome), "direct"
-
-        if status is not BlockStatus.NOT_MEASURED:
-            self._record(url, status, stages)
-        return self._serve(
-            served,
-            ServedResponse(
-                url=url,
-                plt=env.now - t0,
-                served=served_fetch,
-                path=path,
-                status=status,
-                stages=stages,
-                detection=outcome,
+                failure_class(outcome.error) if outcome.error else None
             ),
         )

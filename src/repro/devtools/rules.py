@@ -1,4 +1,4 @@
-"""The csaw-lint rule catalogue (CSL001–CSL007).
+"""The csaw-lint rule catalogue (CSL001–CSL008).
 
 Each rule encodes one determinism/purity invariant the paper's numbers
 depend on (DESIGN.md §7 maps rules to figures).  All rules are
@@ -655,3 +655,85 @@ class MutableDefaultRule(Rule):
             for default in defaults:
                 if self._is_mutable(default):
                     yield ctx.violation(self, default)
+
+
+# -- CSL008: inline exception→BlockType maps -----------------------------------
+
+
+@register
+class InlineBlockTypeMapRule(Rule):
+    """Failure→BlockType mappings must live in ``core/taxonomy.py``.
+
+    Before the taxonomy existed, three independent copies of this map
+    (``detection._DNS_ERROR_TYPES``, ``measurement._failure_block_type``,
+    ``circumvent.base.classify_failure``) were free to drift — one of
+    them silently defaulted unknown DNS failures to ``DNS_TIMEOUT``.  A
+    fourth copy would reintroduce the bug class, so any literal dict or
+    pair-sequence that associates simnet failure types with ``BlockType``
+    members outside the taxonomy is flagged.
+    """
+
+    code = "CSL008"
+    name = "no-inline-blocktype-maps"
+    message = (
+        "inline exception→BlockType mapping: register the pair in "
+        "repro.core.taxonomy instead (single source of truth)"
+    )
+    allow = ("src/repro/core/taxonomy.py",)
+
+    _FAILURE_NAMES = {
+        "DnsError",
+        "DnsTimeout",
+        "NxDomain",
+        "ServFail",
+        "Refused",
+        "TcpError",
+        "ConnectTimeout",
+        "ConnectionReset",
+        "TlsError",
+        "TlsTimeout",
+        "TlsReset",
+        "HttpTimeout",
+    }
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            pairs = self._literal_pairs(node)
+            if pairs is None:
+                continue
+            if any(self._is_mapping_pair(a, b) for a, b in pairs):
+                yield ctx.violation(self, node)
+
+    @staticmethod
+    def _literal_pairs(node: ast.AST):
+        """Key/value pairs of a literal dict or sequence of 2-tuples."""
+        if isinstance(node, ast.Dict):
+            return [
+                (key, value)
+                for key, value in zip(node.keys, node.values)
+                if key is not None  # skip **splat entries
+            ]
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            pairs = [
+                (elt.elts[0], elt.elts[1])
+                for elt in node.elts
+                if isinstance(elt, ast.Tuple) and len(elt.elts) == 2
+            ]
+            return pairs or None
+        return None
+
+    def _is_mapping_pair(self, left: ast.AST, right: ast.AST) -> bool:
+        return (
+            self._names_failure(left) and self._names_block_type(right)
+        ) or (
+            self._names_failure(right) and self._names_block_type(left)
+        )
+
+    def _names_failure(self, node: ast.AST) -> bool:
+        chain = _attr_chain(node)
+        return bool(chain) and chain[-1] in self._FAILURE_NAMES
+
+    @staticmethod
+    def _names_block_type(node: ast.AST) -> bool:
+        chain = _attr_chain(node)
+        return bool(chain) and len(chain) >= 2 and "BlockType" in chain[:-1]

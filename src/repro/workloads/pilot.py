@@ -100,6 +100,10 @@ class PilotReport:
     full_syncs: int = 0
     delta_syncs: int = 0
     sync_rows_received: int = 0
+    # Where page-load time went, summed over every client's finished
+    # sessions (stage → sim-seconds).  Kept out of :meth:`rows` so the
+    # Table-7 tuple shape stays stable; rendered by :meth:`plt_rows`.
+    plt_stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     def rows(self) -> List[Tuple[str, int]]:
         return [
@@ -116,6 +120,21 @@ class PilotReport:
             ("Full blocked-list syncs served", self.full_syncs),
             ("Delta blocked-list syncs served", self.delta_syncs),
             ("Sync rows transferred", self.sync_rows_received),
+        ]
+
+    def plt_rows(self) -> List[Tuple[str, float, float]]:
+        """Per-stage PLT decomposition: (stage, seconds, share-of-total).
+
+        Sorted by descending time (ties by stage name) — the paper-§6
+        "where does page-load time go" view over the whole deployment.
+        """
+        total = sum(self.plt_stage_seconds.values())
+        return [
+            (stage, seconds, seconds / total if total > 0 else 0.0)
+            for stage, seconds in sorted(
+                self.plt_stage_seconds.items(),
+                key=lambda item: (-item[1], item[0]),
+            )
         ]
 
 
@@ -355,6 +374,12 @@ class PilotStudy:
             if parse_url(e.url).host in set(self.cdn_blocked)
         }
         reporting = [c.reporting for c in self.clients if c.reporting]
+        plt_stage_seconds: Dict[str, float] = {}
+        for client in self.clients:
+            for stage, seconds in client.measurement.stage_seconds.items():
+                plt_stage_seconds[stage] = (
+                    plt_stage_seconds.get(stage, 0.0) + seconds
+                )
         return PilotReport(
             users=self.server.client_count,
             unique_blocked_urls=len(urls),
@@ -369,6 +394,7 @@ class PilotStudy:
             full_syncs=sum(r.full_syncs for r in reporting),
             delta_syncs=sum(r.delta_syncs for r in reporting),
             sync_rows_received=sum(r.sync_rows_received for r in reporting),
+            plt_stage_seconds=plt_stage_seconds,
         )
 
 

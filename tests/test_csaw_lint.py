@@ -347,6 +347,52 @@ class TestCSL007MutableDefault:
         assert codes(src) == []
 
 
+class TestCSL008InlineBlockTypeMap:
+    def test_trigger_dict_map(self):
+        src = """
+        from repro.core.records import BlockType
+        from repro.simnet.dns import DnsTimeout, NxDomain
+
+        _TYPES = {
+            DnsTimeout: BlockType.DNS_TIMEOUT,
+            NxDomain: BlockType.DNS_NXDOMAIN,
+        }
+        """
+        assert codes(src, path=CORE) == ["CSL008"]
+
+    def test_trigger_pair_list_and_reversed_dict(self):
+        src = """
+        from repro.core import records
+        from repro.simnet.tcp import ConnectTimeout
+        from repro.simnet.tls import TlsReset
+
+        PAIRS = [
+            (ConnectTimeout, records.BlockType.IP_TIMEOUT),
+        ]
+        BY_TYPE = {records.BlockType.SNI_RST: TlsReset}
+        """
+        assert codes(src, path=CORE) == ["CSL008", "CSL008"]
+
+    def test_allowed_in_taxonomy(self):
+        src = """
+        from repro.core.records import BlockType
+        from repro.simnet.http import HttpTimeout
+
+        TABLE = ((HttpTimeout, BlockType.HTTP_TIMEOUT),)
+        """
+        assert codes(src, path=f"{ROOT}/src/repro/core/taxonomy.py") == []
+
+    def test_clean_unrelated_dicts(self):
+        src = """
+        from repro.core.records import BlockType
+
+        WEIGHTS = {"dns": 0.5, "tcp": 0.5}
+        STAGES = {BlockType.DNS_TIMEOUT: "dns"}
+        NAMES = [("DnsTimeout", "dns-timeout")]
+        """
+        assert codes(src, path=CORE) == []
+
+
 # -- suppressions --------------------------------------------------------------
 
 
@@ -526,8 +572,8 @@ class TestCli:
 
 
 class TestRepoEnforcement:
-    def test_all_seven_rules_registered(self):
-        assert sorted(all_rules()) == [f"CSL00{i}" for i in range(1, 8)]
+    def test_all_eight_rules_registered(self):
+        assert sorted(all_rules()) == [f"CSL00{i}" for i in range(1, 9)]
 
     def test_src_tree_is_lint_clean(self, capsys):
         rc = main([str(REPO / "src"), "--config", str(REPO / "pyproject.toml")])

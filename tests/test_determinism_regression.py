@@ -62,6 +62,14 @@ out["rollout"] = [
     for e in staggered_rollout(["a.example", "b.example"], [10, 11, 12],
                                start=5.0, lag=3600.0)
 ]
+
+# The trace bus feeds these: per-stage PLT seconds aggregated over every
+# client.  hex() keeps the comparison bit-exact.
+breakdown = {}
+for client in study.clients:
+    for stage, seconds in client.measurement.stage_seconds.items():
+        breakdown[stage] = breakdown.get(stage, 0.0) + seconds
+out["plt_breakdown"] = {k: v.hex() for k, v in breakdown.items()}
 print(json.dumps(out, sort_keys=True))
 """
 
@@ -103,6 +111,26 @@ class TestCrossHashSeedDeterminism:
     def test_revocation_actually_exercised(self, outputs):
         payload = json.loads(outputs["0"])
         assert payload["revoked"], "enforce() flagged nobody; test is vacuous"
+
+
+class TestSessionRefactorGolden:
+    """The MeasurementSession refactor must not move a single event.
+
+    ``tests/data/session_refactor_golden.json`` was captured from the
+    pre-refactor request path (commit c0895d8): same seeds, same
+    requests, byte-for-byte the same statuses, paths, PLTs (hex floats)
+    and pilot aggregates.  If this fails, the session layer changed the
+    engine's event-creation or RNG-draw order — see the regeneration
+    notes in ``tests/_session_golden.py``."""
+
+    def test_bit_identical_to_pre_refactor_snapshot(self):
+        from tests._session_golden import capture
+
+        golden = json.loads(
+            (REPO / "tests" / "data" / "session_refactor_golden.json")
+            .read_text()
+        )
+        assert capture() == golden
 
 
 class TestOrderedAccumulators:
