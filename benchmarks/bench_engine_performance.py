@@ -234,3 +234,35 @@ class TestSessionLayerOverhead:
         trajectory stays visible across PRs."""
         for label in ("before-session", "after-session"):
             assert "session_request_storm" in _recorded_seconds(label)
+
+
+class TestTracingOffOverhead:
+    """``TraceMode.OFF`` must make the session layer's tracing free.
+
+    ``before-session-r2`` re-records the pre-tracing request storm
+    (commit c0895d8's code) interleaved with ``after-fleet``'s
+    ``session_request_storm_notrace`` — the original ``before-session``
+    number is from an earlier, faster epoch of this drifting box and is
+    not comparable to anything recorded now.  Budget: the disabled-trace
+    path (one predicate check per emission site) stays within 5% of the
+    pre-tracing cost.
+    """
+
+    def test_notrace_storm_within_budget(self):
+        before = _recorded_seconds("before-session-r2")
+        after = _recorded_seconds("after-fleet")
+        ratio = (
+            after["session_request_storm_notrace"]
+            / before["session_request_storm"]
+        )
+        assert ratio < 1.05, (
+            f"TraceMode.OFF request storm is {(ratio - 1) * 100:.1f}% over "
+            f"the pre-tracing cost (budget 5%)"
+        )
+
+    def test_full_trace_cost_stays_recorded(self):
+        """Full-mode tracing is allowed to cost — but the price must stay
+        visible next to the free path."""
+        after = _recorded_seconds("after-fleet")
+        assert "session_request_storm" in after
+        assert "session_request_storm_notrace" in after

@@ -1,0 +1,123 @@
+"""Fleet-scale storm: 100k cohort clients absorbing a blocking wave.
+
+Not a paper artefact — the capacity check for the §7 deployment story.
+The paper's economics assume C-Saw runs at the scale of "millions of
+users"; this bench drives a :class:`~repro.core.fleet.ClientCohort`
+(clients as per-AS record arrays, not objects) through reporter posts,
+staggered batched delta pulls, and convergence tracking, and reports
+
+- reports/sec absorbed by the global_DB during the detection window,
+- time-to-convergence of each AS's blocked list after the wave,
+- delta-sync bytes and rows per client,
+
+plus a live guard that the columnar batch path beats the per-client row
+path by >= 3x on the pull storm (the ratio BENCH_engine.json records as
+``fleet_pull_storm_rows`` / ``fleet_pull_storm_batch``).
+
+Wall-clock timing here uses ``time.perf_counter`` directly — allowed
+under ``benchmarks/*`` by the CSL002 scope — and always as back-to-back
+in-process ratios, which hold on this drifting box where recorded
+absolute numbers do not.
+"""
+
+import time
+
+import pytest
+
+from conftest import run_once
+from record_engine_bench import (
+    _build_pull_storm_server,
+    run_fleet_pull_storm_batch,
+    run_fleet_pull_storm_rows,
+)
+from repro.core.fleet import run_fleet_storm, run_fleet_storm_sharded
+
+
+def test_fleet_report_storm_100k(benchmark, report):
+    """>= 100k cohort clients through batched delta sync (acceptance b)."""
+    wall_start = time.perf_counter()
+    metrics = run_once(benchmark, lambda: run_fleet_storm(
+        seed=0, n_ases=50, clients_per_as=2000
+    ))
+    wall = time.perf_counter() - wall_start
+
+    assert metrics.n_clients == 100_000
+    assert metrics.n_ases == 50
+    # 20 reporters per AS (1% of 2000) x 20 wave URLs x 50 ASes.
+    assert metrics.reports_absorbed == 20_000
+    # Every AS's cohort must converge on the wave within the horizon.
+    assert len(metrics.convergence_by_as) == 50
+    assert all(t >= 0 for t in metrics.convergence_by_as.values())
+    # Every client pulled at least twice (staggered over two intervals).
+    assert metrics.pulls_served >= 2 * metrics.n_clients
+    # Batching: far fewer batches built than pulls served.
+    assert metrics.batches_built * 10 < metrics.pulls_served
+    assert metrics.bytes_per_client > 0
+    assert metrics.rows_per_client > 0
+
+    summary = metrics.summary()
+    lines = [
+        "fleet report storm: 100k clients, 50 ASes, 1% reporters",
+        f"  reports absorbed: {metrics.reports_absorbed} "
+        f"in {metrics.report_window:.1f} sim-s "
+        f"({metrics.reports_absorbed / wall:,.0f}/s wall)",
+        f"  pulls served: {metrics.pulls_served} "
+        f"via {metrics.batches_built} batches",
+        f"  delta sync per client: {metrics.bytes_per_client:.0f} bytes, "
+        f"{metrics.rows_per_client:.1f} rows",
+        f"  convergence after wave: mean {metrics.mean_convergence:.0f} "
+        f"sim-s, max {metrics.max_convergence:.0f} sim-s",
+    ]
+    report("\n".join(lines))
+    assert summary["n_clients"] == 100_000
+
+
+def test_fleet_storm_sharded_matches_single_process():
+    """Fan-out across runner workers must not change a single count —
+    per-AS RNG streams make partitioning invisible to the result."""
+    single = run_fleet_storm(seed=3, n_ases=8, clients_per_as=50)
+    sharded = run_fleet_storm_sharded(
+        seed=3, n_ases=8, clients_per_as=50, workers=3
+    )
+    assert sharded.summary() == single.summary()
+    assert sharded.convergence_by_as == single.convergence_by_as
+
+
+def test_batched_sync_beats_rows_3x(report):
+    """Acceptance (c): the columnar batch path must beat the per-client
+    row path by >= 3x on the pull storm at cohort scale (200 clients/AS
+    amortize each AS's batch + shared view across its whole cohort)."""
+    _build_pull_storm_server()  # build outside the timed region
+
+    def best_of(fn, rounds=3):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    batch = best_of(run_fleet_pull_storm_batch)
+    rows = best_of(run_fleet_pull_storm_rows)
+    speedup = rows / batch
+    report(
+        "fleet pull storm (2000 clients, 10 ASes, 2000 rows/AS):\n"
+        f"  batch: {batch * 1000:.1f} ms   rows: {rows * 1000:.1f} ms   "
+        f"speedup: {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, (
+        f"batched sync only {speedup:.1f}x over the row path (need >= 3x)"
+    )
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_fleet_storm_deterministic(workers):
+    """Same seed, same fleet, any worker count: bit-identical metrics."""
+    a = run_fleet_storm_sharded(
+        seed=11, n_ases=4, clients_per_as=40, workers=workers
+    )
+    b = run_fleet_storm_sharded(
+        seed=11, n_ases=4, clients_per_as=40, workers=workers
+    )
+    assert a.summary() == b.summary()
+    assert a.convergence_by_as == b.convergence_by_as

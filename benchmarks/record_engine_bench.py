@@ -119,12 +119,29 @@ def run_policy_multirule_compiled(_policy=_build_multirule_policy()):
     return hits
 
 
-def run_policy_multirule_linear(_policy=_build_multirule_policy()):
-    hits = _multirule_queries(
-        _policy, _policy.linear_on_dns_query, _policy.linear_on_http_request
-    )
-    assert hits == 1600 + 200
-    return hits
+def check_policy_multirule_linear_smoke(_policy=_build_multirule_policy()):
+    """Untimed correctness gate: the linear reference path must agree with
+    :class:`CompiledPolicy` verdict-for-verdict on a smoke-sized query set.
+
+    The full linear sweep (~1.6 s/run, x5 rounds) used to dominate this
+    script's runtime while measuring a path nothing ships on; the linear
+    matcher is the executable spec, so what CI needs is agreement, not a
+    throughput number.
+    """
+    compiled = _policy.compiled()
+    for i in range(120):
+        qname = f"www.site{i % 250}.example.com"
+        assert (
+            _policy.linear_on_dns_query(qname).action
+            is compiled.on_dns_query(qname).action
+        ), qname
+        host, path = f"cdn{i}.example.net", f"/page/{i % 97}"
+        if i % 10 == 0:
+            path = f"/stream/badword{i % 250}/x"
+        assert (
+            _policy.linear_on_http_request(host, path).action
+            is compiled.on_http_request(host, path).action
+        ), (host, path)
 
 
 _PULL_STORM_CACHE = {}
@@ -197,17 +214,23 @@ def run_voting_update_storm(n_clients=10_000, n_keys=500, reports_each=10):
     return checked
 
 
-def run_session_request_storm(rounds=40):
+def run_session_request_storm(rounds=40, trace_mode=None):
     """The end-to-end request path: measurement flows, detection stages,
     circumvention, and (post-refactor) session trace emission.  The
     ``before-session``/``after-session`` label pair records what full
     per-request tracing costs on this pure-python path (recorded
     interleaved — this box drifts by tens of percent across minutes, so
-    back-to-back label recordings are not comparable)."""
+    back-to-back label recordings are not comparable).  With
+    ``trace_mode="off"`` the same storm runs on the single-predicate
+    disabled-trace path (the ``session_request_storm_notrace``
+    workload)."""
     from repro.core import CSawClient
     from repro.core.config import CSawConfig
     from repro.workloads.scenarios import pakistan_case_study
 
+    config_kwargs = {"probe_probability": 0.0}
+    if trace_mode is not None:
+        config_kwargs["trace_mode"] = trace_mode
     scenario = pakistan_case_study(seed=5, with_proxy_fleet=False)
     world = scenario.world
     client = CSawClient(
@@ -215,7 +238,7 @@ def run_session_request_storm(rounds=40):
         "bench",
         [scenario.isp_a],
         transports=scenario.make_transports("bench"),
-        config=CSawConfig(probe_probability=0.0),
+        config=CSawConfig(**config_kwargs),
     )
     urls = [
         scenario.urls["small-unblocked"],
@@ -238,14 +261,89 @@ def run_session_request_storm(rounds=40):
     return served
 
 
+def run_session_request_storm_notrace(rounds=40):
+    """The same 120-request storm with ``TraceMode.OFF`` — what a
+    deployment that never looks at traces pays for the session layer."""
+    return run_session_request_storm(rounds=rounds, trace_mode="off")
+
+
+def run_fleet_report_storm():
+    """100k cohort clients (50 ASes x 2000) absorbing a blocking wave:
+    reporter posts, staggered batched delta pulls, convergence tracking.
+    The whole storm runs through ``ClientCohort`` record arrays."""
+    from repro.core.fleet import run_fleet_storm
+
+    metrics = run_fleet_storm(seed=0, n_ases=50, clients_per_as=2000)
+    assert metrics.n_clients == 100_000
+    assert not any(v < 0 for v in metrics.convergence_by_as.values())
+    return metrics
+
+
+def run_fleet_pull_storm_batch(n_clients=2000, n_ases=10):
+    """Cohort-scale pull storm, columnar path: 2000 clients across 10
+    ASes (200 per AS — the regime the fleet layer targets).  One
+    ``SyncBatch`` is built per AS and shared by every client on it, one
+    shared view is materialized per AS in a single columnar pass
+    (mean-field: every client of an AS sees identical server state), and
+    per-client bookkeeping is a record-array version write.  The per-AS
+    amortization is the ``>=3x`` lever over the row path below."""
+    from array import array
+
+    from repro.core.reporting import GlobalView
+
+    server = _build_pull_storm_server()
+    per_as = 100_000 // 50
+    versions = array("q", bytes(8 * n_clients))
+    shared = {}
+    total = 0
+    for index in range(n_clients):
+        asn = 30000 + index % n_ases
+        cached = shared.get(asn)
+        if cached is None:
+            batch = server.sync_batch_for_as(asn, now=10.0)
+            view = GlobalView()
+            view.apply_batch(batch, now=10.0)
+            cached = shared[asn] = (batch, view)
+        batch, view = cached
+        versions[index] = batch.version
+        total += len(view)
+    assert total == n_clients * per_as
+    assert all(versions)
+    return total
+
+
+def run_fleet_pull_storm_rows(n_clients=2000, n_ases=10):
+    """The same pull storm on the per-client row path: every client gets
+    its own ``SyncResult`` built and folds it into its own view — the
+    executable-spec shape ``ReportingService`` uses for a single client,
+    paid once per cohort member.  Kept timed so the batch path's speedup
+    stays visible."""
+    from repro.core.reporting import GlobalView
+
+    server = _build_pull_storm_server()
+    per_as = 100_000 // 50
+    total = 0
+    for index in range(n_clients):
+        asn = 30000 + index % n_ases
+        result = server.sync_for_as(asn, now=10.0)
+        view = GlobalView()
+        view.apply_sync(result, now=10.0)
+        total += len(view)
+    assert total == n_clients * per_as
+    return total
+
+
 WORKLOADS = {
     "kernel_timer_storm": run_timer_storm,
     "kernel_spawn_join_storm": run_spawn_join_storm,
     "session_request_storm": run_session_request_storm,
+    "session_request_storm_notrace": run_session_request_storm_notrace,
     "policy_dns_lookups": run_policy_lookups,
     "policy_multirule_compiled": run_policy_multirule_compiled,
-    "policy_multirule_linear": run_policy_multirule_linear,
     "globaldb_pull_storm": run_globaldb_pull_storm,
+    "fleet_report_storm": run_fleet_report_storm,
+    "fleet_pull_storm_batch": run_fleet_pull_storm_batch,
+    "fleet_pull_storm_rows": run_fleet_pull_storm_rows,
     "voting_update_storm": run_voting_update_storm,
 }
 
@@ -270,6 +368,10 @@ def main() -> None:
              "(default: seed-baseline)",
     )
     args = parser.parse_args()
+
+    # Untimed gate: the linear policy path must still agree with the
+    # compiled one (it left the timed set — see its docstring).
+    check_policy_multirule_linear_smoke()
 
     timings = {name: best_of(fn, args.rounds) for name, fn in WORKLOADS.items()}
 

@@ -1,0 +1,132 @@
+"""Record the cross-epoch request-storm pair, interleaved.
+
+This box drifts by tens of percent across minutes, so a recorded number
+from one epoch cannot be compared with one recorded later — the
+``before-session`` label (2026-08-05) is ~20% faster than anything this
+host produces today.  The only comparison that holds is an interleaved
+one: alternate the two sides in adjacent subprocesses, many rounds, and
+take each side's minimum.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_interleaved_storm.py \
+        --old-root /path/to/checkout-of-c0895d8 [--rounds 12]
+
+Both sides run *this repo's* workload definitions (the old checkout's
+bench harness predates the session storm; the workload only touches
+modules that exist unchanged there, and sharing one definition keeps the
+timed shape identical): ``session_request_storm`` against the old
+checkout's ``src``, then ``session_request_storm_notrace`` and
+``session_request_storm`` against the current tree.  Results merge into
+BENCH_engine.json:
+
+- ``before-session-r2``: the re-measured pre-tracing storm;
+- the current label's (default ``after-fleet``) two storm numbers are
+  overwritten with the interleaved minima and its speedup maps
+  recomputed, so ``bench_engine_performance.py``'s ``TraceMode.OFF``
+  guard compares numbers from the same interleaved session.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_engine.json"
+
+#: run inside a fresh subprocess per measurement: argv = src dir,
+#: workload, inner best-of rounds.  Always loads this repo's bench
+#: module so both epochs time the exact same workload definition.
+_DRIVER = """
+import sys
+src, workload, rounds = sys.argv[1], sys.argv[2], int(sys.argv[3])
+sys.path.insert(0, src)
+sys.path.insert(0, %r)
+import record_engine_bench as bench
+print(bench.best_of(bench.WORKLOADS[workload], rounds))
+""" % str(ROOT / "benchmarks")
+
+
+def measure(src: str, workload: str, inner_rounds: int) -> float:
+    out = subprocess.run(
+        [sys.executable, "-c", _DRIVER, src, workload, str(inner_rounds)],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return float(out.stdout.strip().splitlines()[-1])
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--old-root", required=True,
+        help="checkout of the pre-session-refactor commit (c0895d8)",
+    )
+    parser.add_argument("--rounds", type=int, default=12,
+                        help="alternating subprocess rounds per side")
+    parser.add_argument("--inner-rounds", type=int, default=5,
+                        help="in-process best-of rounds per subprocess")
+    parser.add_argument("--label-old", default="before-session-r2")
+    parser.add_argument("--label-new", default="after-fleet")
+    args = parser.parse_args()
+
+    sides = [
+        ("old", str(pathlib.Path(args.old_root) / "src"),
+         "session_request_storm"),
+        ("notrace", str(ROOT / "src"), "session_request_storm_notrace"),
+        ("full", str(ROOT / "src"), "session_request_storm"),
+    ]
+    best = {name: float("inf") for name, _, _ in sides}
+    for i in range(args.rounds):
+        # Rotate the order each round so neither side systematically
+        # runs while the box is warmer.
+        order = sides[i % len(sides):] + sides[: i % len(sides)]
+        for name, src, workload in order:
+            seconds = measure(src, workload, args.inner_rounds)
+            best[name] = min(best[name], seconds)
+        print(
+            f"round {i + 1}/{args.rounds}: "
+            + "  ".join(f"{n}={best[n] * 1000:.2f}ms" for n in best)
+        )
+
+    history = json.loads(OUT.read_text()) if OUT.exists() else {}
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    history[args.label_old] = {
+        "seconds": {"session_request_storm": best["old"]},
+        "python": platform.python_version(),
+        "recorded_at": stamp,
+        "note": (
+            "pre-tracing storm re-measured interleaved with "
+            f"{args.label_new}'s storms ({args.rounds} alternating rounds)"
+        ),
+    }
+    new = history.setdefault(args.label_new, {"seconds": {}})
+    new["seconds"]["session_request_storm_notrace"] = best["notrace"]
+    new["seconds"]["session_request_storm"] = best["full"]
+    new["storms_recorded_at"] = stamp
+    # Recompute this label's speedup maps with the patched numbers.
+    for key in [k for k in new if k.startswith("speedup_vs_")]:
+        base_label = key[len("speedup_vs_"):].replace("_", "-")
+        baseline = history.get(base_label, {}).get("seconds", {})
+        new[key] = {
+            name: round(baseline[name] / seconds, 2)
+            for name, seconds in new["seconds"].items()
+            if name in baseline
+        }
+    ratio = best["notrace"] / best["old"]
+    new["notrace_vs_pretracing"] = round(ratio, 3)
+    OUT.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    print(f"\nTraceMode.OFF vs pre-tracing: {ratio:.3f}x (budget < 1.05)")
+    print(f"full tracing vs pre-tracing:  {best['full'] / best['old']:.3f}x")
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

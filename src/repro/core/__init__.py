@@ -12,17 +12,24 @@ from .circumvention import CircumventionModule, fix_defeats
 from .client import CSawClient
 from .config import CSawConfig
 from .detection import DetectionOutcome, measure_direct_path
+from .fleet import (
+    ClientCohort,
+    FleetMetrics,
+    run_fleet_storm,
+    run_fleet_storm_sharded,
+)
 from .globaldb import (
     GlobalEntry,
     RegistrationError,
     ReportItem,
     ServerDB,
+    SyncBatch,
     SyncResult,
 )
 from .localdb import LocalDatabase
 from .measurement import MeasurementModule, ServedResponse
 from .multihoming import MultihomingManager
-from .records import BlockStatus, BlockType, URLRecord
+from .records import BlockStatus, BlockType, URLRecord, decode_stages, encode_stages
 from .reporting import GlobalView, ReportingService, ensure_collector
 from .reputation import ClientProfile, ReputationAnalyzer
 from .session import MeasurementSession
@@ -33,7 +40,7 @@ from .taxonomy import (
     failure_class,
     failure_class_for,
 )
-from .trace import SessionTrace, TraceEvent
+from .trace import SessionTrace, TraceEvent, TraceMode
 from .voting import VoteStats, VotingLedger
 
 __all__ = [
@@ -52,10 +59,15 @@ __all__ = [
     "CSawConfig",
     "DetectionOutcome",
     "measure_direct_path",
+    "ClientCohort",
+    "FleetMetrics",
+    "run_fleet_storm",
+    "run_fleet_storm_sharded",
     "GlobalEntry",
     "RegistrationError",
     "ReportItem",
     "ServerDB",
+    "SyncBatch",
     "SyncResult",
     "LocalDatabase",
     "MeasurementModule",
@@ -64,6 +76,8 @@ __all__ = [
     "BlockStatus",
     "BlockType",
     "URLRecord",
+    "decode_stages",
+    "encode_stages",
     "GlobalView",
     "ReportingService",
     "ensure_collector",
@@ -77,6 +91,7 @@ __all__ = [
     "failure_class_for",
     "SessionTrace",
     "TraceEvent",
+    "TraceMode",
     "VoteStats",
     "VotingLedger",
 ]

@@ -246,6 +246,9 @@ class CSawClient:
             "sync_rows_received": (
                 self.reporting.sync_rows_received if self.reporting else 0
             ),
+            "sync_bytes_received": (
+                self.reporting.sync_bytes_received if self.reporting else 0
+            ),
             "data_used_bytes": self.measurement.total_bytes,
             "redundant_data_bytes": self.measurement.redundant_bytes,
             # Where page-load time went, summed over finished sessions

@@ -49,6 +49,20 @@ class CSawConfig:
     blockpage_ratio_threshold: float = 0.30
     # Moving-average weight for per-approach PLT tracking.
     ewma_alpha: float = 0.3
+    # Trace-bus recording mode: "full" records every session event,
+    # "ring" keeps only the last trace_ring_size events per session,
+    # "sampled" records a trace_sample_rate fraction of sessions (PLT
+    # aggregates scaled by 1/p), "off" disables recording entirely.
+    # Verdicts and served PLTs are bit-identical across all four modes
+    # — only the trace payload differs.
+    trace_mode: str = "full"
+    trace_sample_rate: float = 0.05
+    trace_ring_size: int = 64
+    # Delta-sync wire format for blocked-list pulls: "columnar" moves
+    # parallel per-field tuples and rebuilds entries client-side in one
+    # pass; "rows" moves per-row GlobalEntry objects (the executable
+    # spec — both produce bit-identical client state).
+    sync_wire_format: str = "columnar"
 
     @classmethod
     def developing_region(cls, **overrides) -> "CSawConfig":
@@ -81,3 +95,16 @@ class CSawConfig:
             raise ValueError("min_reporters must be >= 1")
         if self.min_votes < 0.0:
             raise ValueError(f"min_votes must be >= 0: {self.min_votes!r}")
+        from .trace import TraceMode
+
+        TraceMode.parse(self.trace_mode)  # raises on unknown modes
+        if not 0.0 < self.trace_sample_rate <= 1.0:
+            raise ValueError(
+                f"trace_sample_rate must be in (0,1]: {self.trace_sample_rate!r}"
+            )
+        if self.trace_ring_size < 1:
+            raise ValueError("trace_ring_size must be >= 1")
+        if self.sync_wire_format not in ("columnar", "rows"):
+            raise ValueError(
+                f"unknown sync wire format: {self.sync_wire_format!r}"
+            )

@@ -176,18 +176,24 @@ class _DirectPathRun:
 
     def _stage_dns(self) -> Generator:
         world, env, ctx, parsed = self.world, self.env, self.ctx, self.parsed
-        span = self.trace.begin(STAGE_LOCAL_DNS)
+        # Trace calls throughout the stages are guarded at the call site:
+        # a disabled trace then costs one local predicate per stage
+        # instead of a begin/end call pair (the TraceMode.OFF budget).
+        trace = self.trace if self.trace.enabled else None
+        span = trace.begin(STAGE_LOCAL_DNS) if trace else 0.0
         try:
             ips = yield from resolve(
                 env, world.network, ctx, parsed.host,
                 world.isp_resolver(ctx), world.dns_config,
             )
             self.ip = ips[0]
-            self.trace.end(STAGE_LOCAL_DNS, span)
+            if trace:
+                trace.end(STAGE_LOCAL_DNS, span)
         except DnsError as local_error:
-            self.trace.end(
-                STAGE_LOCAL_DNS, span, detail=type(local_error).__name__
-            )
+            if trace:
+                trace.end(
+                    STAGE_LOCAL_DNS, span, detail=type(local_error).__name__
+                )
             if world.public_resolver is None:
                 # No GDNS available: treat the local failure as blocking
                 # evidence (cannot distinguish a dead domain).
@@ -195,7 +201,7 @@ class _DirectPathRun:
                     STAGE_LOCAL_DNS, dns_block_type(local_error)
                 )
                 return self.outcome(BlockStatus.BLOCKED, error=local_error)
-            gspan = self.trace.begin(STAGE_GLOBAL_DNS)
+            gspan = trace.begin(STAGE_GLOBAL_DNS) if trace else 0.0
             try:
                 ips = yield from resolve(
                     env, world.network, ctx, parsed.host,
@@ -203,11 +209,14 @@ class _DirectPathRun:
                 )
             except DnsError as gdns_error:
                 # Both resolvers fail: the domain genuinely does not resolve.
-                self.trace.end(
-                    STAGE_GLOBAL_DNS, gspan, detail=type(gdns_error).__name__
-                )
+                if trace:
+                    trace.end(
+                        STAGE_GLOBAL_DNS, gspan,
+                        detail=type(gdns_error).__name__,
+                    )
                 return self.outcome(BlockStatus.NOT_BLOCKED, error=gdns_error)
-            self.trace.end(STAGE_GLOBAL_DNS, gspan)
+            if trace:
+                trace.end(STAGE_GLOBAL_DNS, gspan)
             # GDNS answered where the local resolver failed: DNS blocking.
             self.note_evidence(STAGE_LOCAL_DNS, dns_block_type(local_error))
             self.dns_suspect = self.stages[-1]
@@ -218,7 +227,7 @@ class _DirectPathRun:
             self.note_evidence(STAGE_LOCAL_DNS, BlockType.DNS_REDIRECT)
             self.dns_suspect = BlockType.DNS_REDIRECT
             if world.public_resolver is not None:
-                gspan = self.trace.begin(STAGE_GLOBAL_DNS)
+                gspan = trace.begin(STAGE_GLOBAL_DNS) if trace else 0.0
                 try:
                     ips = yield from resolve(
                         env, world.network, ctx, parsed.host,
@@ -227,21 +236,24 @@ class _DirectPathRun:
                     self.ip = ips[0]  # continue with the honest address
                 except DnsError:
                     pass  # fall through with the redirect address
-                self.trace.end(STAGE_GLOBAL_DNS, gspan)
+                if trace:
+                    trace.end(STAGE_GLOBAL_DNS, gspan)
         return None
 
     # ---- stage 2: TCP --------------------------------------------------------
 
     def _stage_tcp(self) -> Generator:
         world, env = self.world, self.env
-        span = self.trace.begin(STAGE_TCP)
+        trace = self.trace if self.trace.enabled else None
+        span = trace.begin(STAGE_TCP) if trace else 0.0
         try:
             self.conn = yield from tcp_connect(
                 env, world.network, self.ctx, self.ip, self.parsed.port,
                 world.tcp_config,
             )
         except (ConnectTimeout, ConnectionReset) as error:
-            self.trace.end(STAGE_TCP, span, detail=type(error).__name__)
+            if trace:
+                trace.end(STAGE_TCP, span, detail=type(error).__name__)
             if self.dns_suspect is BlockType.DNS_REDIRECT and is_private(self.ip):
                 # We are still holding the forged address (on-path injection
                 # defeats the GDNS retry too): the dead connect is a symptom
@@ -249,7 +261,8 @@ class _DirectPathRun:
                 return self.outcome(BlockStatus.BLOCKED, error=error)
             self.note_evidence(STAGE_TCP, block_type_for(error))
             return self.outcome(BlockStatus.BLOCKED, error=error)
-        self.trace.end(STAGE_TCP, span)
+        if trace:
+            trace.end(STAGE_TCP, span)
         return None
 
     # ---- stage 3: TLS (https only) -------------------------------------------
@@ -258,23 +271,27 @@ class _DirectPathRun:
         if self.parsed.scheme != "https":
             return None
         world, env = self.world, self.env
-        span = self.trace.begin(STAGE_TLS)
+        trace = self.trace if self.trace.enabled else None
+        span = trace.begin(STAGE_TLS) if trace else 0.0
         try:
             yield from tls_handshake(
                 env, self.ctx, self.conn, self.parsed.host, world.tls_config
             )
         except (TlsTimeout, TlsReset) as error:
-            self.trace.end(STAGE_TLS, span, detail=type(error).__name__)
+            if trace:
+                trace.end(STAGE_TLS, span, detail=type(error).__name__)
             self.note_evidence(STAGE_TLS, block_type_for(error))
             return self.outcome(BlockStatus.BLOCKED, error=error)
-        self.trace.end(STAGE_TLS, span)
+        if trace:
+            trace.end(STAGE_TLS, span)
         return None
 
     # ---- stage 4: HTTP (incl. redirect chase) --------------------------------
 
     def _stage_http(self) -> Generator:
         world, env, ctx = self.world, self.env, self.ctx
-        span = self.trace.begin(STAGE_HTTP)
+        trace = self.trace if self.trace.enabled else None
+        span = trace.begin(STAGE_HTTP) if trace else 0.0
         current = self.parsed
         for _hop in range(self.max_redirects + 1):
             try:
@@ -284,16 +301,19 @@ class _DirectPathRun:
                     world.http_config, first_byte=self.first_byte,
                 )
             except HttpTimeout as error:
-                self.trace.end(STAGE_HTTP, span, detail="HttpTimeout")
+                if trace:
+                    trace.end(STAGE_HTTP, span, detail="HttpTimeout")
                 self.note_evidence(STAGE_HTTP, BlockType.HTTP_TIMEOUT)
                 return self.outcome(BlockStatus.BLOCKED, error=error)
             except ConnectionReset as error:
-                self.trace.end(STAGE_HTTP, span, detail="ConnectionReset")
+                if trace:
+                    trace.end(STAGE_HTTP, span, detail="ConnectionReset")
                 self.note_evidence(STAGE_HTTP, BlockType.HTTP_RST)
                 return self.outcome(BlockStatus.BLOCKED, error=error)
             if self.response.is_redirect and self.response.location:
                 current = parse_url(self.response.location)
-                self.trace.mark(STAGE_HTTP, "redirect to " + current.host)
+                if trace:
+                    trace.mark(STAGE_HTTP, "redirect to " + current.host)
                 if _looks_like_ip(current.host):
                     redirect_ip = current.host
                 else:
@@ -302,9 +322,10 @@ class _DirectPathRun:
                             world, ctx, current.host
                         )
                     except DnsError as error:
-                        self.trace.end(
-                            STAGE_HTTP, span, detail=type(error).__name__
-                        )
+                        if trace:
+                            trace.end(
+                                STAGE_HTTP, span, detail=type(error).__name__
+                            )
                         self.note_evidence(STAGE_HTTP, dns_block_type(error))
                         return self.outcome(BlockStatus.BLOCKED, error=error)
                 try:
@@ -313,14 +334,16 @@ class _DirectPathRun:
                         world.tcp_config,
                     )
                 except TcpError as error:
-                    self.trace.end(
-                        STAGE_HTTP, span, detail=type(error).__name__
-                    )
+                    if trace:
+                        trace.end(
+                            STAGE_HTTP, span, detail=type(error).__name__
+                        )
                     self.note_evidence(STAGE_HTTP, BlockType.IP_TIMEOUT)
                     return self.outcome(BlockStatus.BLOCKED, error=error)
                 continue
             break
-        self.trace.end(STAGE_HTTP, span)
+        if trace:
+            trace.end(STAGE_HTTP, span)
         return None
 
     # ---- stage 5: block-page detection (phase 1) -----------------------------
@@ -328,7 +351,8 @@ class _DirectPathRun:
     def _stage_blockpage_phase1(self) -> DetectionOutcome:
         response = self.response
         assert response is not None
-        span = self.trace.begin(STAGE_BLOCKPAGE_PHASE1)
+        trace = self.trace if self.trace.enabled else None
+        span = trace.begin(STAGE_BLOCKPAGE_PHASE1) if trace else 0.0
         if response.status == 451:
             # The *server* withheld the content from this region (§8): an
             # explicit signal, no phase-2 comparison needed.  Circumventable
@@ -336,23 +360,31 @@ class _DirectPathRun:
             self.note_evidence(
                 STAGE_BLOCKPAGE_PHASE1, BlockType.SERVER_FILTERING
             )
-            self.trace.end(STAGE_BLOCKPAGE_PHASE1, span, detail="status 451")
+            if trace:
+                trace.end(
+                    STAGE_BLOCKPAGE_PHASE1, span, detail="status 451"
+                )
             return self.outcome(BlockStatus.BLOCKED, response=response)
         if self.detector.phase1(response):
             self.note_evidence(STAGE_BLOCKPAGE_PHASE1, BlockType.BLOCK_PAGE)
-            self.trace.end(STAGE_BLOCKPAGE_PHASE1, span, detail="phase-1 hit")
+            if trace:
+                trace.end(
+                    STAGE_BLOCKPAGE_PHASE1, span, detail="phase-1 hit"
+                )
             return self.outcome(
                 BlockStatus.BLOCKED, response=response, suspected=True
             )
-        self.trace.end(STAGE_BLOCKPAGE_PHASE1, span)
+        if trace:
+            trace.end(STAGE_BLOCKPAGE_PHASE1, span)
 
         if self.dns_suspect is BlockType.DNS_REDIRECT:
             # The redirect address served an ordinary page after all — treat
             # as geo-DNS/CDN behaviour, not blocking.
             self.stages.remove(BlockType.DNS_REDIRECT)
-            self.trace.mark(
-                STAGE_LOCAL_DNS, "dns-redirect withdrawn: real page served"
-            )
+            if trace:
+                trace.mark(
+                    STAGE_LOCAL_DNS, "dns-redirect withdrawn: real page served"
+                )
             self.dns_suspect = None
         if self.dns_suspect is not None:
             # Local resolver lied but the page loads fine via the GDNS

@@ -1,0 +1,494 @@
+"""Fleet-scale client cohorts: millions of vantages as record arrays.
+
+The engine, voting, and per-AS shard layers are each fast in isolation;
+this module exercises them *together* at population scale.  A
+:class:`ClientCohort` represents thousands-to-millions of C-Saw clients
+without one ``CSawClient`` object per user: each AS's population is a
+set of parallel record arrays (``array`` module typed arrays) —
+
+- ``versions``      last global_DB shard version each client applied
+                    (−1 = never synced → next pull is a full snapshot);
+- ``next_pull_at``  each client's periodic blocked-list pull schedule;
+- ``bytes_received`` / ``rows_received``  per-client delta-sync cost;
+- ``pending``       per-reporter count of wave URLs not yet posted;
+- reporter identity arrays (indices + server-issued UUIDs) for the
+  active-reporter subset — reputation/voting runs on real identities.
+
+The mean-field observation that makes this sound: every client of an AS
+consumes the same server-side change stream, so a client's blocked-list
+view is a pure function of the shard version it last applied.  Only
+schedule offsets, sync costs, and reporter state differ per client —
+exactly what the arrays store.  ICLab-style fleets (many lightweight
+vantages, aggregate load is the bottleneck) and Turkmenistan-style
+low-penetration studies (huge populations, few active reporters) both
+fit this shape.
+
+Pulls ride the *columnar* delta-sync wire format
+(:meth:`~repro.core.globaldb.ServerDB.sync_batch_for_as`): one batch is
+built per (AS, since-version) per service tick and shared by every
+client at that version, then applied into the record arrays in one
+pass.  Reports go through the ordinary ``post_update`` path, so the
+voting ledger and shard change logs see real traffic.
+
+Process fan-out: :func:`run_fleet_storm_sharded` partitions the AS
+space across worker processes with :mod:`repro.runner` — shards are
+independent by construction, so each worker simulates its slice of the
+fleet against its own :class:`ServerDB` and the per-AS metrics merge by
+concatenation (global counters by summation).
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..runner import TrialSpec, derive_seed, merge_values, run_trials
+from ..simnet.engine import Environment
+from .globaldb import ReportItem, ServerDB
+from .records import BlockType
+
+__all__ = [
+    "CohortAs",
+    "ClientCohort",
+    "FleetMetrics",
+    "run_fleet_storm",
+    "run_fleet_storm_sharded",
+]
+
+#: Stage evidence the wave's reporters upload (multi-stage blocking).
+WAVE_STAGES: Tuple[BlockType, ...] = (BlockType.DNS_TIMEOUT, BlockType.BLOCK_PAGE)
+
+
+class CohortAs:
+    """One AS's client population, as parallel record arrays."""
+
+    __slots__ = (
+        "asn", "n", "rng", "versions", "next_pull_at", "pull_order", "pull_ptr",
+        "bytes_received", "rows_received", "pulls", "wave_urls",
+        "reporter_ix", "reporter_uuids", "report_at", "report_order",
+        "report_ptr", "pending", "target_version", "wave_started_at",
+        "converged_at", "unconverged",
+    )
+
+    def __init__(self, asn: int, n: int, pull_interval: float,
+                 rng: random.Random):
+        self.asn = asn
+        self.n = n
+        self.rng = rng
+        self.versions = array("q", [-1]) * n  # -1 = never synced
+        # Staggered periodic pulls: offsets are fixed per client, so the
+        # due order is cyclic and a sorted index + pointer services each
+        # tick in O(clients due), never O(population).
+        self.next_pull_at = array(
+            "d", (rng.uniform(0.0, pull_interval) for _ in range(n))
+        )
+        self.pull_order = sorted(range(n), key=self.next_pull_at.__getitem__)
+        self.pull_ptr = 0
+        self.bytes_received = array("q", [0]) * n
+        self.rows_received = array("q", [0]) * n
+        self.pulls = 0
+        # Blocking-wave state (filled by start_wave / reporter posts).
+        self.wave_urls: List[str] = []
+        self.reporter_ix = array("l")
+        self.reporter_uuids: List[str] = []
+        self.report_at = array("d")
+        self.report_order: List[int] = []
+        self.report_ptr = 0
+        self.pending = array("l")
+        self.target_version: Optional[int] = None
+        self.wave_started_at: Optional[float] = None
+        self.converged_at: Optional[float] = None
+        self.unconverged = n
+
+
+@dataclass
+class FleetMetrics:
+    """Fleet-level outcome of one storm (merge-able across partitions)."""
+
+    n_clients: int = 0
+    n_ases: int = 0
+    n_reporters: int = 0
+    reports_absorbed: int = 0
+    first_report_at: Optional[float] = None
+    last_report_at: Optional[float] = None
+    pulls_served: int = 0
+    batches_built: int = 0
+    sync_rows: int = 0
+    sync_bytes: int = 0
+    server_entries: int = 0
+    convergence_by_as: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def report_window(self) -> float:
+        """Sim seconds from the first absorbed report to the last —
+        kept as endpoints so partition merges stay exact (a max over
+        per-partition windows would undercount the global span)."""
+        if self.first_report_at is None or self.last_report_at is None:
+            return 0.0
+        return self.last_report_at - self.first_report_at
+
+    @property
+    def bytes_per_client(self) -> float:
+        return self.sync_bytes / self.n_clients if self.n_clients else 0.0
+
+    @property
+    def rows_per_client(self) -> float:
+        return self.sync_rows / self.n_clients if self.n_clients else 0.0
+
+    @property
+    def mean_convergence(self) -> float:
+        values = [v for v in self.convergence_by_as.values() if v >= 0.0]
+        return sum(values) / len(values) if values else float("nan")
+
+    @property
+    def max_convergence(self) -> float:
+        values = [v for v in self.convergence_by_as.values() if v >= 0.0]
+        return max(values) if values else float("nan")
+
+    def merge(self, other: "FleetMetrics") -> "FleetMetrics":
+        """Fold another partition's metrics in (AS sets must be disjoint)."""
+        self.n_clients += other.n_clients
+        self.n_ases += other.n_ases
+        self.n_reporters += other.n_reporters
+        self.reports_absorbed += other.reports_absorbed
+        if other.first_report_at is not None:
+            self.first_report_at = (
+                other.first_report_at
+                if self.first_report_at is None
+                else min(self.first_report_at, other.first_report_at)
+            )
+        if other.last_report_at is not None:
+            self.last_report_at = (
+                other.last_report_at
+                if self.last_report_at is None
+                else max(self.last_report_at, other.last_report_at)
+            )
+        self.pulls_served += other.pulls_served
+        self.batches_built += other.batches_built
+        self.sync_rows += other.sync_rows
+        self.sync_bytes += other.sync_bytes
+        self.server_entries += other.server_entries
+        self.convergence_by_as.update(other.convergence_by_as)
+        return self
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "n_clients": self.n_clients,
+            "n_ases": self.n_ases,
+            "n_reporters": self.n_reporters,
+            "reports_absorbed": self.reports_absorbed,
+            "report_window_sim_s": self.report_window,
+            "pulls_served": self.pulls_served,
+            "batches_built": self.batches_built,
+            "sync_rows": self.sync_rows,
+            "sync_bytes": self.sync_bytes,
+            "bytes_per_client": self.bytes_per_client,
+            "rows_per_client": self.rows_per_client,
+            "mean_convergence_sim_s": self.mean_convergence,
+            "max_convergence_sim_s": self.max_convergence,
+            "server_entries": self.server_entries,
+        }
+
+
+class ClientCohort:
+    """A population of lightweight clients spread over per-AS shards."""
+
+    def __init__(
+        self,
+        server: ServerDB,
+        asns: List[int],
+        clients_per_as: int,
+        seed: int,
+        reporter_fraction: float = 0.01,
+        pull_interval: float = 600.0,
+        tick: Optional[float] = None,
+    ):
+        if clients_per_as < 1:
+            raise ValueError("clients_per_as must be >= 1")
+        if not 0.0 < reporter_fraction <= 1.0:
+            raise ValueError(
+                f"reporter_fraction must be in (0,1]: {reporter_fraction!r}"
+            )
+        self.server = server
+        self.pull_interval = pull_interval
+        # Service granularity: how often each AS's population is swept
+        # for due pulls/reports.  Coarser ticks batch more clients per
+        # sweep (and per shared SyncBatch); finer ticks tighten the
+        # convergence measurement.
+        self.tick = tick if tick is not None else pull_interval / 20.0
+        self.reporter_fraction = reporter_fraction
+        # One seeded stream per AS, derived from the AS identity — the AS
+        # space can then be partitioned across worker processes without
+        # changing any AS's draws (worker-count invariance).
+        self.shards: List[CohortAs] = [
+            CohortAs(
+                asn,
+                clients_per_as,
+                pull_interval,
+                random.Random(derive_seed(seed, "fleet-as", asn)),
+            )
+            for asn in asns
+        ]
+        self.metrics = FleetMetrics(
+            n_clients=clients_per_as * len(asns), n_ases=len(asns)
+        )
+        self._first_report_at: Optional[float] = None
+        self._last_report_at: Optional[float] = None
+
+    # -- wave scheduling -------------------------------------------------------
+
+    def start_wave(
+        self,
+        now: float,
+        urls_per_as: int,
+        detection_delay: Tuple[float, float] = (5.0, 120.0),
+    ) -> None:
+        """A censor starts blocking ``urls_per_as`` URLs in every AS.
+
+        The reporter subset of each AS's population notices within a
+        uniform ``detection_delay`` window and posts its measurements
+        through the ordinary report path (registering a real UUID with
+        the server, so voting and reputation see the traffic).
+        """
+        for st in self.shards:
+            rng = st.rng
+            st.wave_urls = [
+                f"http://wave-as{st.asn}-{k}.example.com/"
+                for k in range(urls_per_as)
+            ]
+            st.wave_started_at = now
+            n_reporters = max(1, round(st.n * self.reporter_fraction))
+            st.reporter_ix = array(
+                "l", rng.sample(range(st.n), n_reporters)
+            )
+            st.reporter_uuids = [
+                self.server.register(now=now + 0.001 * i)
+                for i in range(n_reporters)
+            ]
+            st.report_at = array(
+                "d",
+                (now + rng.uniform(*detection_delay) for _ in range(n_reporters)),
+            )
+            st.report_order = sorted(
+                range(n_reporters), key=st.report_at.__getitem__
+            )
+            st.report_ptr = 0
+            st.pending = array("l", [urls_per_as]) * n_reporters
+            st.target_version = None
+            st.converged_at = None
+            st.unconverged = st.n
+            self.metrics.n_reporters += n_reporters
+
+    # -- per-tick service ------------------------------------------------------
+
+    def _post_due_reports(self, st: CohortAs, now: float) -> None:
+        server = self.server
+        order = st.report_order
+        while st.report_ptr < len(order):
+            r = order[st.report_ptr]
+            when = st.report_at[r]
+            if when > now:
+                break
+            items = [
+                ReportItem(
+                    url=url,
+                    asn=st.asn,
+                    stages=WAVE_STAGES,
+                    measured_at=when,
+                )
+                for url in st.wave_urls
+            ]
+            accepted = server.post_update(st.reporter_uuids[r], items, now)
+            st.pending[r] = 0
+            self.metrics.reports_absorbed += accepted
+            if self._first_report_at is None:
+                self._first_report_at = now
+            self._last_report_at = now
+            st.report_ptr += 1
+        if st.report_ptr == len(order) and st.target_version is None:
+            # Last reporter posted: the shard version now is what the
+            # population must reach to be considered converged.
+            st.target_version = server.version_for_as(st.asn)
+
+    def _service_pulls(self, st: CohortAs, now: float) -> None:
+        """Serve every client whose periodic pull came due.
+
+        Clients due in the same sweep that share a since-version also
+        share one server-built :class:`SyncBatch` — the columnar format
+        makes the share free (immutable parallel tuples).
+        """
+        server, metrics = self.server, self.metrics
+        order, next_pull = st.pull_order, st.next_pull_at
+        versions = st.versions
+        batch_cache: Dict[int, object] = {}
+        n = st.n
+        served = 0
+        while served < n:
+            i = order[st.pull_ptr % n]
+            if next_pull[i] > now:
+                break
+            since = versions[i]
+            batch = batch_cache.get(since)
+            if batch is None:
+                batch = server.sync_batch_for_as(
+                    st.asn, now,
+                    since_version=None if since < 0 else since,
+                )
+                batch_cache[since] = batch
+                metrics.batches_built += 1
+            versions[i] = batch.version
+            rows = batch.transferred
+            if rows:
+                st.rows_received[i] += rows
+                st.bytes_received[i] += batch.wire_bytes
+                metrics.sync_rows += rows
+                metrics.sync_bytes += batch.wire_bytes
+            else:
+                metrics.sync_bytes += 24  # empty-delta header
+            next_pull[i] += self.pull_interval
+            st.pulls += 1
+            metrics.pulls_served += 1
+            st.pull_ptr += 1
+            served += 1
+            if (
+                st.target_version is not None
+                and st.unconverged
+                and since < st.target_version <= batch.version
+            ):
+                st.unconverged -= 1
+                if st.unconverged == 0 and st.wave_started_at is not None:
+                    st.converged_at = now
+
+    def service(self, now: float) -> None:
+        """One sweep over every AS: due reports, then due pulls."""
+        for st in self.shards:
+            if st.report_ptr < len(st.report_order):
+                self._post_due_reports(st, now)
+            self._service_pulls(st, now)
+
+    # -- engine driver ---------------------------------------------------------
+
+    def run(self, env: Environment, until: float):
+        """Process: periodic service sweeps until ``until`` sim-seconds."""
+        while env.now < until:
+            yield env.timeout(self.tick)
+            self.service(env.now)
+
+    def finalize(self) -> FleetMetrics:
+        """Compute the fleet-level metrics after a run."""
+        metrics = self.metrics
+        metrics.first_report_at = self._first_report_at
+        metrics.last_report_at = self._last_report_at
+        for st in self.shards:
+            if st.converged_at is not None and st.wave_started_at is not None:
+                metrics.convergence_by_as[st.asn] = (
+                    st.converged_at - st.wave_started_at
+                )
+            else:
+                metrics.convergence_by_as[st.asn] = -1.0  # did not converge
+        metrics.server_entries = self.server.entry_count
+        return metrics
+
+
+# -- top-level storm entry points (picklable for the process runner) -----------
+
+
+def run_fleet_storm(
+    seed: int = 0,
+    n_ases: int = 50,
+    clients_per_as: int = 2000,
+    reporter_fraction: float = 0.01,
+    urls_per_as: int = 20,
+    pull_interval: float = 600.0,
+    wave_at: float = 300.0,
+    horizon: Optional[float] = None,
+    asn_base: int = 40000,
+) -> FleetMetrics:
+    """One fleet storm: steady pulls, a blocking wave, convergence.
+
+    Builds a :class:`ServerDB`, a cohort of ``n_ases * clients_per_as``
+    clients, starts a blocking wave at ``wave_at``, and runs the engine
+    until every AS had time to converge (``horizon`` defaults to the
+    wave plus two pull intervals).  Returns :class:`FleetMetrics`.
+    """
+    server = ServerDB(entry_ttl=None)
+    env = Environment()
+    cohort = ClientCohort(
+        server,
+        asns=[asn_base + i for i in range(n_ases)],
+        clients_per_as=clients_per_as,
+        seed=seed,
+        reporter_fraction=reporter_fraction,
+        pull_interval=pull_interval,
+    )
+
+    def driver():
+        yield env.timeout(wave_at)
+        cohort.start_wave(env.now, urls_per_as=urls_per_as)
+
+    env.process(driver())
+    stop_at = (
+        horizon
+        if horizon is not None
+        else wave_at + 2.0 * pull_interval + cohort.tick
+    )
+    env.process(cohort.run(env, stop_at))
+    env.run()
+    return cohort.finalize()
+
+
+def _fleet_partition(
+    seed: int,
+    n_ases: int,
+    asn_base: int,
+    **kwargs,
+) -> FleetMetrics:
+    """One worker's slice of the fleet (its own ServerDB + engine)."""
+    return run_fleet_storm(
+        seed=seed, n_ases=n_ases, asn_base=asn_base, **kwargs
+    )
+
+
+def run_fleet_storm_sharded(
+    seed: int = 0,
+    n_ases: int = 50,
+    workers: Optional[int] = None,
+    asn_base: int = 40000,
+    **kwargs,
+) -> FleetMetrics:
+    """Fan the AS space across processes with :mod:`repro.runner`.
+
+    Per-AS shards are independent, so partitioning by AS is exact: each
+    worker simulates its slice against its own :class:`ServerDB` and the
+    results merge by summation/concatenation.  Deterministic for any
+    worker count — each AS's random stream derives from the AS identity,
+    not from the partitioning or scheduling.
+    """
+    from ..runner import resolve_workers
+
+    n_parts = min(resolve_workers(n_ases, workers), n_ases)
+    bounds = [
+        (part * n_ases) // n_parts for part in range(n_parts + 1)
+    ]
+    specs = [
+        TrialSpec(
+            name=f"fleet[{part}]",
+            fn=_fleet_partition,
+            kwargs={
+                "seed": seed,
+                "n_ases": bounds[part + 1] - bounds[part],
+                "asn_base": asn_base + bounds[part],
+                **kwargs,
+            },
+        )
+        for part in range(n_parts)
+        if bounds[part + 1] > bounds[part]
+    ]
+    results = run_trials(specs, workers=n_parts)
+    merged: Optional[FleetMetrics] = None
+    for value in merge_values(results).values():
+        merged = value if merged is None else merged.merge(value)
+    assert merged is not None
+    return merged

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..urlkit import normalize_url
-from .records import BlockType
+from .records import BlockType, decode_stages, encode_stages
 from .voting import VoteStats, VotingLedger
 
 __all__ = [
@@ -39,6 +39,7 @@ __all__ = [
     "RegistrationError",
     "ServerDB",
     "SyncResult",
+    "SyncBatch",
 ]
 
 
@@ -93,6 +94,82 @@ class SyncResult:
     def transferred(self) -> int:
         """Rows on the wire — what delta sync is minimizing."""
         return len(self.entries) + len(self.removed)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Estimated bytes on the wire (same cost model as SyncBatch)."""
+        total = 24  # header: asn, version, flags
+        for entry in self.entries:
+            total += (
+                len(entry.url) + 1 + 24  # three packed floats
+                + 2  # stage code
+                + len(entry.last_uuid)
+            )
+        for url in self.removed:
+            total += len(url) + 1
+        return total
+
+
+@dataclass(frozen=True)
+class SyncBatch:
+    """One pull in the columnar wire format: parallel per-field tuples.
+
+    Same information as :class:`SyncResult` — the row path remains the
+    executable spec and the two produce bit-identical client state —
+    but entries travel as parallel columns (url key, packed stage code,
+    timestamps, reporter id) instead of per-row objects.  One batch is
+    built in a single pass over the shard and can be shared by every
+    client of the AS at the same ``since_version``, which is what the
+    fleet cohort exploits.
+    """
+
+    asn: int
+    version: int
+    full: bool
+    urls: Tuple[str, ...] = ()
+    stage_codes: Tuple[int, ...] = ()  # encode_stages() nibble packs
+    measured_at: Tuple[float, ...] = ()
+    posted_at: Tuple[float, ...] = ()
+    first_measured_at: Tuple[float, ...] = ()
+    reporter_uuids: Tuple[str, ...] = ()
+    removed: Tuple[str, ...] = ()
+
+    @property
+    def transferred(self) -> int:
+        return len(self.urls) + len(self.removed)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Estimated bytes on the wire: url/uuid strings plus packed
+        numeric columns (8 bytes per float, 2 per stage code)."""
+        total = 24  # header: asn, version, flags
+        total += sum(len(url) + 1 for url in self.urls)
+        total += sum(len(uuid) for uuid in self.reporter_uuids)
+        total += (3 * 8 + 2) * len(self.urls)
+        total += sum(len(url) + 1 for url in self.removed)
+        return total
+
+    def entries(self) -> List[GlobalEntry]:
+        """Materialize per-row objects (decode side of the spec tests)."""
+        return [
+            GlobalEntry(
+                url=url,
+                asn=self.asn,
+                stages=decode_stages(code),
+                measured_at=measured,
+                posted_at=posted,
+                last_uuid=uuid,
+                first_measured_at=first,
+            )
+            for url, code, measured, posted, first, uuid in zip(
+                self.urls,
+                self.stage_codes,
+                self.measured_at,
+                self.posted_at,
+                self.first_measured_at,
+                self.reporter_uuids,
+            )
+        ]
 
 
 class _AsShard:
@@ -378,6 +455,95 @@ class ServerDB:
             full=False,
             entries=changed,
             removed=removed,
+        )
+
+    def sync_batch_for_as(
+        self,
+        asn: int,
+        now: float,
+        since_version: Optional[int] = None,
+        min_reporters: int = 1,
+        min_votes: float = 0.0,
+    ) -> SyncBatch:
+        """:meth:`sync_for_as` in the columnar wire format.
+
+        Serves the same full/delta decision and the same rows, but as
+        parallel per-field tuples built in one pass over the shard —
+        no intermediate per-row objects.  ``sync_for_as`` remains the
+        executable spec; the property tests assert both paths yield
+        bit-identical client state.
+        """
+        shard = self._shards.get(asn)
+        if shard is None:
+            self.full_syncs_served += 1
+            return SyncBatch(asn=asn, version=0, full=True)
+        self._evict_expired(shard, now)
+        stale = (
+            since_version is None
+            or since_version < shard.floor
+            or since_version > shard.version
+        )
+        check_votes = min_reporters > 1 or min_votes > 0.0
+        stats = self.voting.stats
+        urls: List[str] = []
+        codes: List[int] = []
+        measured: List[float] = []
+        posted: List[float] = []
+        first: List[float] = []
+        uuids: List[str] = []
+        if stale:
+            self.full_syncs_served += 1
+            for url, entry in shard.entries.items():
+                if check_votes and not stats(url, asn).passes(
+                    min_reporters, min_votes
+                ):
+                    continue
+                urls.append(url)
+                codes.append(encode_stages(entry.stages))
+                measured.append(entry.measured_at)
+                posted.append(entry.posted_at)
+                first.append(entry.first_measured_at)
+                uuids.append(entry.last_uuid)
+            return SyncBatch(
+                asn=asn,
+                version=shard.version,
+                full=True,
+                urls=tuple(urls),
+                stage_codes=tuple(codes),
+                measured_at=tuple(measured),
+                posted_at=tuple(posted),
+                first_measured_at=tuple(first),
+                reporter_uuids=tuple(uuids),
+            )
+        self.delta_syncs_served += 1
+        if since_version == shard.version:
+            return SyncBatch(asn=asn, version=shard.version, full=False)
+        removed: List[str] = []
+        entries = shard.entries
+        for url in shard.touched_since(since_version):
+            entry = entries.get(url)
+            if entry is not None and stats(url, asn).passes(
+                min_reporters, min_votes
+            ):
+                urls.append(url)
+                codes.append(encode_stages(entry.stages))
+                measured.append(entry.measured_at)
+                posted.append(entry.posted_at)
+                first.append(entry.first_measured_at)
+                uuids.append(entry.last_uuid)
+            else:
+                removed.append(url)
+        return SyncBatch(
+            asn=asn,
+            version=shard.version,
+            full=False,
+            urls=tuple(urls),
+            stage_codes=tuple(codes),
+            measured_at=tuple(measured),
+            posted_at=tuple(posted),
+            first_measured_at=tuple(first),
+            reporter_uuids=tuple(uuids),
+            removed=tuple(removed),
         )
 
     def version_for_as(self, asn: int) -> int:

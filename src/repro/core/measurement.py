@@ -45,7 +45,7 @@ from .records import BlockStatus, BlockType
 from .reporting import GlobalView
 from .session import MeasurementSession
 from .taxonomy import failure_class
-from .trace import SessionTrace
+from .trace import SessionTrace, TraceMode
 
 __all__ = ["ServedResponse", "MeasurementModule"]
 
@@ -82,6 +82,11 @@ class ServedResponse:
         return self.corrected_plt if self.corrected else self.plt
 
 
+from . import session as _session_module
+
+_session_module.ServedResponse = ServedResponse
+
+
 class MeasurementModule:
     """Algorithm 1, wired to the local_DB, global view, and circumvention."""
 
@@ -108,6 +113,23 @@ class MeasurementModule:
             ratio_threshold=self.config.blockpage_ratio_threshold
         )
         self.rng = world.rngs.stream(rng_stream)
+        # Trace-mode policy, resolved once so per-session setup is a few
+        # attribute loads.  Sampling draws come from a dedicated
+        # per-client stream (never shared with measurement decisions), so
+        # switching trace modes cannot perturb verdicts or schedules.
+        self.trace_mode = TraceMode.parse(self.config.trace_mode)
+        self.trace_ring = (
+            self.config.trace_ring_size
+            if self.trace_mode is TraceMode.RING
+            else None
+        )
+        if self.trace_mode is TraceMode.SAMPLED:
+            self.trace_rng = world.rngs.stream(rng_stream + "/trace-sampling")
+            self.trace_scale = 1.0 / self.config.trace_sample_rate
+        else:
+            self.trace_rng = None
+            self.trace_scale = 1.0
+        self.sessions_traced = 0
         self.requests_handled = 0
         self.probes_launched = 0
         # Data-usage accounting (§8: redundancy costs data, a concern in
@@ -152,7 +174,9 @@ class MeasurementModule:
         if method not in ("GET", "POST"):
             raise ValueError(f"unsupported method: {method!r}")
         self.requests_handled += 1
-        session = self.new_session(url, ctx, duplicable=method == "GET")
+        session = MeasurementSession(
+            self, ctx, url, duplicable=method == "GET"
+        )
         worker = env.process(session.run())
         response = yield session.served_event
         response.measurement_process = worker
@@ -173,11 +197,20 @@ class MeasurementModule:
 
     def absorb_trace(self, trace: SessionTrace) -> None:
         """Fold one finished session's per-stage durations into the
-        module-level PLT breakdown."""
-        for stage, seconds in trace.stage_durations().items():
-            self.stage_seconds[stage] = (
-                self.stage_seconds.get(stage, 0.0) + seconds
-            )
+        module-level PLT breakdown.
+
+        In sampled mode each recorded session stands for ``1/p`` of the
+        population, so its durations are scaled by ``trace_scale`` —
+        ``stage_seconds`` stays an estimate of the *full* deployment's
+        breakdown no matter the mode.
+        """
+        if trace.enabled and len(trace):
+            scale = self.trace_scale
+            for stage, seconds in trace.stage_durations().items():
+                self.stage_seconds[stage] = (
+                    self.stage_seconds.get(stage, 0.0) + seconds * scale
+                )
+            self.sessions_traced += 1
         self.sessions_completed += 1
 
     # -- plumbing (shared by the session flows) --------------------------------
@@ -212,12 +245,17 @@ class MeasurementModule:
     ) -> Generator:
         # Load tracking is inlined (not via _with_load) so the fetch
         # pipeline sits one generator frame shallower — every simnet
-        # event resume walks the whole yield-from chain.
+        # event resume walks the whole yield-from chain.  A disabled
+        # trace skips the traced_fetch wrapper frame too, for the same
+        # reason.
         ctx.load.enter()
         try:
-            result = yield from transport.traced_fetch(
-                self.world, ctx, url, trace=trace
-            )
+            if trace is None or not trace.enabled:
+                result = yield from transport.fetch(self.world, ctx, url)
+            else:
+                result = yield from transport.traced_fetch(
+                    self.world, ctx, url, trace=trace
+                )
         finally:
             ctx.load.exit()
         if result.ok:

@@ -12,7 +12,13 @@ import enum
 from dataclasses import dataclass, field
 from typing import List
 
-__all__ = ["BlockStatus", "BlockType", "URLRecord"]
+__all__ = [
+    "BlockStatus",
+    "BlockType",
+    "URLRecord",
+    "encode_stages",
+    "decode_stages",
+]
 
 
 class BlockStatus(enum.Enum):
@@ -67,6 +73,39 @@ class BlockType(enum.Enum):
         return self.stage in ("dns", "ip", "tls", "server")
 
 
+# -- compact stage-list codec (columnar sync wire format) ----------------------
+#
+# A stage list travels as one small integer: each stage is a 4-bit
+# nibble (1-based index into BlockType definition order, 0 terminates),
+# most-recently-appended stage in the low nibble.  The encoding is
+# *order-preserving* — decode returns the exact observation order the
+# reporter recorded — which is what lets the batched delta-sync path
+# rebuild entries bit-identical to the per-row object path.
+
+_BLOCK_TYPES: tuple = ()  # filled below, after the enum exists
+_STAGE_NIBBLE: dict = {}
+
+
+def encode_stages(stages) -> int:
+    """Pack an ordered stage list into one int (13 types → 4 bits each)."""
+    code = 0
+    nibble = _STAGE_NIBBLE
+    for stage in stages:
+        code = (code << 4) | nibble[stage]
+    return code
+
+
+def decode_stages(code: int) -> List[BlockType]:
+    """Unpack :func:`encode_stages` output, restoring observation order."""
+    stages: List[BlockType] = []
+    types = _BLOCK_TYPES
+    while code:
+        stages.append(types[(code & 0xF) - 1])
+        code >>= 4
+    stages.reverse()
+    return stages
+
+
 @dataclass
 class URLRecord:
     """One local_DB entry (Table 3)."""
@@ -97,3 +136,8 @@ class URLRecord:
             f"URLRecord({self.url!r}, AS{self.asn}, {self.status.value}, "
             f"[{kinds}], t={self.measured_at:.1f})"
         )
+
+
+_BLOCK_TYPES = tuple(BlockType)
+assert len(_BLOCK_TYPES) <= 15, "stage nibble codec needs BlockType to fit 4 bits"
+_STAGE_NIBBLE = {stage: i + 1 for i, stage in enumerate(_BLOCK_TYPES)}

@@ -18,8 +18,9 @@ from ..simnet.flow import FlowContext
 from ..simnet.world import World
 from ..urlkit import base_url, normalize_url
 from .config import CSawConfig
-from .globaldb import GlobalEntry, ReportItem, ServerDB, SyncResult
+from .globaldb import GlobalEntry, ReportItem, ServerDB, SyncBatch, SyncResult
 from .localdb import LocalDatabase
+from .records import decode_stages
 
 __all__ = ["GlobalView", "ReportingService", "ensure_collector"]
 
@@ -76,6 +77,53 @@ class GlobalView:
         self.synced_asn = result.asn
         self.last_synced = now
 
+    def apply_batch(self, batch: SyncBatch, now: float) -> None:
+        """Fold one columnar :class:`SyncBatch` into the cached view.
+
+        One pass over the parallel columns, rebuilding entries in place
+        — bit-identical to :meth:`apply_sync` on the equivalent
+        :class:`SyncResult` (the property tests enforce it).
+        """
+        asn = batch.asn
+        columns = zip(
+            batch.urls,
+            batch.stage_codes,
+            batch.measured_at,
+            batch.posted_at,
+            batch.first_measured_at,
+            batch.reporter_uuids,
+        )
+        if batch.full:
+            self._entries = {
+                url: GlobalEntry(
+                    url=url,
+                    asn=asn,
+                    stages=decode_stages(code),
+                    measured_at=measured,
+                    posted_at=posted,
+                    last_uuid=uuid,
+                    first_measured_at=first,
+                )
+                for url, code, measured, posted, first, uuid in columns
+            }
+        else:
+            entries = self._entries
+            for url in batch.removed:
+                entries.pop(url, None)
+            for url, code, measured, posted, first, uuid in columns:
+                entries[url] = GlobalEntry(
+                    url=url,
+                    asn=asn,
+                    stages=decode_stages(code),
+                    measured_at=measured,
+                    posted_at=posted,
+                    last_uuid=uuid,
+                    first_measured_at=first,
+                )
+        self.version = batch.version
+        self.synced_asn = asn
+        self.last_synced = now
+
     def lookup(self, url: str) -> Optional[GlobalEntry]:
         """Exact match first, then the URL's base (aggregated entries)."""
         url = normalize_url(url)
@@ -116,6 +164,7 @@ class ReportingService:
         self.full_syncs = 0
         self.delta_syncs = 0
         self.sync_rows_received = 0  # entries + removals over all pulls
+        self.sync_bytes_received = 0  # estimated wire bytes over all pulls
         self._collector_url = ensure_collector(world)
 
     @property
@@ -192,21 +241,35 @@ class ReportingService:
             return 0
         now = self.world.env.now
         asn = self.local_db.asn
-        result = self.server.sync_for_as(
-            asn,
-            now,
-            since_version=self.global_view.since_version(asn),
-            min_reporters=self.min_reporters,
-            min_votes=self.min_votes,
-        )
-        self.global_view.apply_sync(result, now)
+        since = self.global_view.since_version(asn)
+        if self.config.sync_wire_format == "columnar":
+            batch = self.server.sync_batch_for_as(
+                asn,
+                now,
+                since_version=since,
+                min_reporters=self.min_reporters,
+                min_votes=self.min_votes,
+            )
+            self.global_view.apply_batch(batch, now)
+            received = len(batch.urls)
+        else:
+            batch = self.server.sync_for_as(
+                asn,
+                now,
+                since_version=since,
+                min_reporters=self.min_reporters,
+                min_votes=self.min_votes,
+            )
+            self.global_view.apply_sync(batch, now)
+            received = len(batch.entries)
         self.downloads += 1
-        if result.full:
+        if batch.full:
             self.full_syncs += 1
         else:
             self.delta_syncs += 1
-        self.sync_rows_received += result.transferred
-        return len(result.entries)
+        self.sync_rows_received += batch.transferred
+        self.sync_bytes_received += batch.wire_bytes
+        return received
 
     def run_periodic(self, ctx: FlowContext, until: float) -> Generator:
         """Background process: report + download loops until ``until``."""

@@ -43,13 +43,22 @@ from .detection import DetectionOutcome
 from .records import BlockStatus, BlockType
 from .taxonomy import block_type_for
 from .trace import (
+    DISABLED_TRACE,
     STAGE_BLOCKPAGE_PHASE2,
     STAGE_SESSION,
     SessionTrace,
+    TraceMode,
     transport_stage,
 )
 
 __all__ = ["MeasurementSession"]
+
+# Bound by core.measurement at import time (cycle-breaker).  The flows
+# construct a ServedResponse on every serve; a per-call
+# ``from .measurement import ServedResponse`` would pay sys.modules
+# machinery on the hot path, and a module-level import would be circular
+# (measurement imports MeasurementSession from here).
+ServedResponse = None
 
 
 class MeasurementSession:
@@ -73,8 +82,28 @@ class MeasurementSession:
         self.served_event = self.env.event()
         # Close over env, not self: a self-capturing clock would make
         # session → trace → clock → session a GC cycle per request.
-        env = self.env
-        self.trace = SessionTrace(lambda: env.now, url=url, actor="session")
+        # Trace mode policy (resolved once on the module): SAMPLED
+        # enables a p-fraction of sessions, drawn from a dedicated RNG
+        # stream so verdicts stay mode-independent; RING bounds storage
+        # to the most recent N events.
+        # Disabled sessions (OFF, or the unsampled majority in SAMPLED
+        # mode) share the inert DISABLED_TRACE singleton — no per-request
+        # trace or clock-closure allocation on the fast path.
+        if module.trace_mode is TraceMode.OFF or (
+            module.trace_rng is not None
+            and not (
+                module.trace_rng.random() < module.config.trace_sample_rate
+            )
+        ):
+            self.trace = DISABLED_TRACE
+        else:
+            env = self.env
+            self.trace = SessionTrace(
+                lambda: env.now,
+                url=url,
+                actor="session",
+                ring=module.trace_ring,
+            )
         self.t0: float = 0.0
         self.outcome: Optional[DetectionOutcome] = None
         self.circ_results: List[FetchResult] = []
@@ -107,8 +136,11 @@ class MeasurementSession:
     def run(self):
         """Process body: dispatch per Algorithm 1, serve, finalize."""
         module = self.module
+        trace = self.trace
+        traced = trace.enabled
         self.t0 = self.env.now
-        self.trace.begin(STAGE_SESSION)
+        if traced:
+            trace.begin(STAGE_SESSION)
         status, record = module.local_db.lookup(self.url)
         if status is BlockStatus.NOT_MEASURED:
             entry = module.global_view.lookup(self.url)
@@ -122,18 +154,23 @@ class MeasurementSession:
             result = yield from self._blocked_flow(list(record.stages))
         else:
             result = yield from self._unblocked_flow()
-        self.trace.end(STAGE_SESSION, self.t0, detail=result.status.value)
-        module.absorb_trace(self.trace)
+        if traced:
+            trace.end(STAGE_SESSION, self.t0, detail=result.status.value)
+            module.absorb_trace(trace)
+        else:
+            module.sessions_completed += 1
         return result
 
     # -- serving ---------------------------------------------------------------
 
     def serve(self, response):
         """Hand ``response`` to the waiting request; attaches the trace."""
-        response.trace = self.trace
-        self.trace._emit(
-            STAGE_SESSION, "serve", response.plt, response.path, None, None
-        )
+        trace = self.trace
+        response.trace = trace
+        if trace.enabled:
+            trace._emit(
+                STAGE_SESSION, "serve", response.plt, response.path, None, None
+            )
         if not self.served_event.triggered:
             self.served_event.succeed(response)
         return response
@@ -146,8 +183,6 @@ class MeasurementSession:
 
     def try_serve(self) -> None:
         """Serve as soon as a usable response exists (direct preferred)."""
-        from .measurement import ServedResponse
-
         if self.response is not None:
             return
         outcome = self.outcome
@@ -189,12 +224,15 @@ class MeasurementSession:
         env = self.env
         module = self.module
         config = module.config
-        relay = module.circumvention.relay_for(self.url)
+        ctx = self.ctx
+        url = self.url
+        trace = self.trace
+        relay = module.circumvention.relay_for(url)
 
         first_byte = env.event()
         direct_proc = env.process(
             module._measure_direct(
-                self.ctx, self.url, first_byte=first_byte, trace=self.trace
+                ctx, url, first_byte=first_byte, trace=trace
             )
         )
         circ_procs: List = []
@@ -218,9 +256,7 @@ class MeasurementSession:
         if want_parallel and not direct_proc.processed:
             circ_procs = [
                 env.process(
-                    module._fetch_via(
-                        self.ctx, self.url, relay, trace=self.trace
-                    )
+                    module._fetch_via(ctx, url, relay, trace=trace)
                 )
                 for _ in range(config.max_redundant_requests - 1)
             ]
@@ -238,20 +274,20 @@ class MeasurementSession:
 
         while pending:
             if self.cancelled:
-                self.trace.mark(STAGE_SESSION, "cancelled")
+                trace.mark(STAGE_SESSION, "cancelled")
                 break
             waits = list(pending)
             deadline = None
             if self._deadline_expires is not None:
                 remaining = self._deadline_expires - env.now
                 if remaining <= 0:
-                    self.trace.mark(STAGE_SESSION, "deadline expired")
+                    trace.mark(STAGE_SESSION, "deadline expired")
                     break
                 deadline = env.timeout(remaining)
                 waits.append(deadline)
             fired = yield env.any_of(waits)
             if deadline is not None and len(fired) == 1 and deadline in fired:
-                self.trace.mark(STAGE_SESSION, "deadline expired")
+                trace.mark(STAGE_SESSION, "deadline expired")
                 break
             for event in fired:
                 if event is deadline:
@@ -270,13 +306,11 @@ class MeasurementSession:
                 and (self.outcome.blocked or self.outcome.suspected_blockpage)
             ):
                 transport = module.circumvention.choose(
-                    self.url, self.outcome.stages
+                    url, self.outcome.stages
                 )
                 if transport is not None:
                     proc = env.process(
-                        module._fetch_via(
-                            self.ctx, self.url, transport, trace=self.trace
-                        )
+                        module._fetch_via(ctx, url, transport, trace=trace)
                     )
                     pending[proc] = None
                     self.circ_started = True
@@ -286,8 +320,6 @@ class MeasurementSession:
 
     def _finalize_unknown(self):
         """Phase-2 confirmation, correction, and record-keeping."""
-        from .measurement import ServedResponse
-
         env = self.env
         module = self.module
         outcome = self.outcome
@@ -380,13 +412,14 @@ class MeasurementSession:
     # -- blocked: circumvent (+ probabilistic direct probe) --------------------
 
     def _blocked_flow(self, stages: List[BlockType], from_global: bool = False):
-        from .measurement import ServedResponse
-
         env = self.env
         module = self.module
+        ctx = self.ctx
+        url = self.url
+        trace = self.trace
         if from_global:
-            self.trace.mark(STAGE_SESSION, "blocked per global view")
-        transport = module.circumvention.choose(self.url, stages)
+            trace.mark(STAGE_SESSION, "blocked per global view")
+        transport = module.circumvention.choose(url, stages)
         if transport is None:
             # No circumvention available at all: degenerate to direct.
             result = yield from self._unblocked_flow()
@@ -401,20 +434,20 @@ class MeasurementSession:
             and module.rng.random() < module.config.probe_probability
         ):
             probe_proc = env.process(
-                module._measure_direct(self.ctx, self.url, trace=self.trace)
+                module._measure_direct(ctx, url, trace=trace)
             )
             module.probes_launched += 1
-            self.trace.mark(STAGE_SESSION, "direct-path probe launched")
+            trace.mark(STAGE_SESSION, "direct-path probe launched")
 
         result = yield env.process(
-            module._fetch_via(self.ctx, self.url, transport, trace=self.trace)
+            module._fetch_via(ctx, url, transport, trace=trace)
         )
 
         if result.failed:
             # The chosen approach stopped working (fix defeated or relay
             # blocked).  Merge the fresh symptom and fall back to a relay.
             if transport.is_local_fix:
-                module.circumvention.mark_fix_failed(self.url, transport.name)
+                module.circumvention.mark_fix_failed(url, transport.name)
             symptom = block_type_for(result.error) if result.error else None
             if (
                 isinstance(result.error, TcpError)
@@ -425,20 +458,18 @@ class MeasurementSession:
                 symptom = None
             if symptom is not None and symptom not in stages:
                 stages.append(symptom)
-                self.trace.evidence(transport_stage(transport.name), symptom)
-            fallback = module.circumvention.relay_for(self.url)
+                trace.evidence(transport_stage(transport.name), symptom)
+            fallback = module.circumvention.relay_for(url)
             if fallback is not None and fallback.name != transport.name:
                 retry = yield env.process(
-                    module._fetch_via(
-                        self.ctx, self.url, fallback, trace=self.trace
-                    )
+                    module._fetch_via(ctx, url, fallback, trace=trace)
                 )
                 if retry.ok:
                     result = retry
 
         self.response = self.serve(
             ServedResponse(
-                url=self.url,
+                url=url,
                 plt=env.now - self.t0,
                 served=result,
                 path=result.transport,
@@ -449,7 +480,7 @@ class MeasurementSession:
         )
 
         # Refresh the record (extends T_m; merges any new stage evidence).
-        module._record(self.url, BlockStatus.BLOCKED, stages)
+        module._record(url, BlockStatus.BLOCKED, stages)
 
         if probe_proc is not None:
             outcome = yield probe_proc
@@ -460,10 +491,10 @@ class MeasurementSession:
             ):
                 # Whitelisted (Blocked→Unblocked churn) or a false report
                 # from the global_DB: the direct path works.
-                module._record(self.url, BlockStatus.NOT_BLOCKED, [])
+                module._record(url, BlockStatus.NOT_BLOCKED, [])
                 self.response.status = BlockStatus.NOT_BLOCKED
                 self.response.stages = []
-                self.trace.mark(
+                trace.mark(
                     STAGE_SESSION, "probe: direct path works; record cleared"
                 )
             else:
@@ -471,30 +502,29 @@ class MeasurementSession:
                 for stage in outcome.stages:
                     if stage not in merged:
                         merged.append(stage)
-                module._record(self.url, BlockStatus.BLOCKED, merged)
+                module._record(url, BlockStatus.BLOCKED, merged)
                 self.response.stages = merged
         return self.response
 
     # -- not-blocked: direct only, always measured ------------------------------
 
     def _unblocked_flow(self):
-        from .measurement import ServedResponse
-
         env = self.env
         module = self.module
-        outcome = yield from module._measure_direct(
-            self.ctx, self.url, trace=self.trace
-        )
+        ctx = self.ctx
+        url = self.url
+        trace = self.trace
+        outcome = yield from module._measure_direct(ctx, url, trace=trace)
 
         if (
             outcome.status is BlockStatus.NOT_BLOCKED
             and not outcome.suspected_blockpage
             and outcome.response is not None
         ):
-            module._record(self.url, BlockStatus.NOT_BLOCKED, [])
+            module._record(url, BlockStatus.NOT_BLOCKED, [])
             self.response = self.serve(
                 ServedResponse(
-                    url=self.url,
+                    url=url,
                     plt=env.now - self.t0,
                     served=module._detection_as_fetch(outcome),
                     path="direct",
@@ -507,28 +537,26 @@ class MeasurementSession:
         # Unblocked→Blocked churn (or a dead site): recover through
         # circumvention and re-record.
         stages = list(outcome.stages)
-        transport = module.circumvention.choose(self.url, stages)
+        transport = module.circumvention.choose(url, stages)
         circ = None
         if transport is not None:
             circ = yield env.process(
-                module._fetch_via(
-                    self.ctx, self.url, transport, trace=self.trace
-                )
+                module._fetch_via(ctx, url, transport, trace=trace)
             )
 
         status = BlockStatus.BLOCKED if outcome.blocked else outcome.status
         if outcome.suspected_blockpage and circ is not None and circ.ok:
-            span = self.trace.begin(STAGE_BLOCKPAGE_PHASE2)
+            span = trace.begin(STAGE_BLOCKPAGE_PHASE2)
             if not module.detector.phase2(outcome.response, circ.response):
                 status = BlockStatus.NOT_BLOCKED
                 if BlockType.BLOCK_PAGE in stages:
                     stages.remove(BlockType.BLOCK_PAGE)
-                self.trace.end(
+                trace.end(
                     STAGE_BLOCKPAGE_PHASE2, span,
                     detail="phase-1 false positive: sizes match",
                 )
             else:
-                self.trace.end(
+                trace.end(
                     STAGE_BLOCKPAGE_PHASE2, span,
                     detail="block page confirmed",
                 )
@@ -543,10 +571,10 @@ class MeasurementSession:
             served_fetch, path = module._detection_as_fetch(outcome), "direct"
 
         if status is not BlockStatus.NOT_MEASURED:
-            module._record(self.url, status, stages)
+            module._record(url, status, stages)
         self.response = self.serve(
             ServedResponse(
-                url=self.url,
+                url=url,
                 plt=env.now - self.t0,
                 served=served_fetch,
                 path=path,

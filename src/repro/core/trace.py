@@ -16,17 +16,39 @@ regression goldens enforce.
 Timestamps are guaranteed non-decreasing: ``emit`` rejects a stamp
 earlier than its predecessor, which would indicate a trace shared
 across sessions or a clock wired to the wrong environment.
+
+Tracing has a *mode* (:class:`TraceMode`), selected per client via
+``CSawConfig.trace_mode``:
+
+- ``full`` — every event of every session is recorded (the PR-4
+  behaviour, and the default);
+- ``ring`` — every session records, but only the most recent
+  ``trace_ring_size`` events are retained (bounded memory for
+  always-on tracing at fleet scale);
+- ``sampled`` — a fraction ``trace_sample_rate`` of sessions record
+  in full; the rest pay a single predicate check per would-be event.
+  Aggregated PLT statistics are scaled by ``1/p`` so they estimate
+  the full population;
+- ``off`` — no session records; every emission helper returns after
+  one attribute test, no clock read, no allocation.
+
+A disabled trace is still a valid, safely inert object: ``len() == 0``,
+``stage_durations() == {}``, subscribers never fire.
 """
 
 from __future__ import annotations
 
+import enum
+from collections import deque
 from typing import Callable, Dict, Iterator, List, Optional
 
 from .records import BlockType
 
 __all__ = [
     "TraceEvent",
+    "TraceMode",
     "SessionTrace",
+    "DISABLED_TRACE",
     "transport_stage",
     "STAGE_SESSION",
     "STAGE_LOCAL_DNS",
@@ -52,6 +74,28 @@ STAGE_BLOCKPAGE_PHASE2 = "blockpage-phase2"
 def transport_stage(name: str) -> str:
     """Stage label for a circumvention-transport attempt."""
     return "transport:" + name
+
+
+class TraceMode(enum.Enum):
+    """How much of the request path's trace bus is recorded."""
+
+    OFF = "off"
+    SAMPLED = "sampled"
+    RING = "ring"
+    FULL = "full"
+
+    @classmethod
+    def parse(cls, value) -> "TraceMode":
+        """Accept a TraceMode or its string value (config field)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            names = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown trace mode {value!r} (expected one of: {names})"
+            ) from None
 
 
 class TraceEvent:
@@ -111,7 +155,7 @@ class SessionTrace:
     the simulation.
     """
 
-    __slots__ = ("url", "actor", "_events", "_clock", "_last_t",
+    __slots__ = ("url", "actor", "enabled", "_events", "_clock", "_last_t",
                  "_subscribers")
 
     def __init__(
@@ -119,9 +163,16 @@ class SessionTrace:
         clock: Callable[[], float],
         url: Optional[str] = None,
         actor: Optional[str] = None,
+        enabled: bool = True,
+        ring: Optional[int] = None,
     ):
         self.url = url
         self.actor = actor
+        # The whole off/unsampled story is this one flag: every emission
+        # helper tests it first and returns before touching the clock,
+        # so a disabled trace costs one attribute load + branch per
+        # would-be event — nothing else.
+        self.enabled = enabled
         # Raw storage: 7-tuples in TraceEvent slot order, materialized
         # into TraceEvent objects on first read.  The request path emits
         # several events per request, and a per-emit object allocation
@@ -129,8 +180,9 @@ class SessionTrace:
         # instances never do) is measurable against the <5% overhead
         # budget the benchmark guard enforces.  With subscribers
         # attached, events materialize eagerly so observers get the
-        # typed object.
-        self._events: List = []
+        # typed object.  ``ring`` bounds the storage to the most recent
+        # N events (always-on tracing at fleet scale).
+        self._events = deque(maxlen=ring) if ring else []
         self._clock = clock
         self._last_t = float("-inf")
         self._subscribers: List[Callable[[TraceEvent], None]] = []
@@ -142,6 +194,8 @@ class SessionTrace:
         # Positional hot path: one clock read per event, no keyword
         # unpacking.  ``started`` (a span's open stamp) turns into
         # ``duration`` here so span closers don't read the clock twice.
+        if not self.enabled:
+            return 0.0
         t = self._clock()
         if t < self._last_t:
             raise ValueError(
@@ -174,8 +228,10 @@ class SessionTrace:
         transport: Optional[str] = None,
         block_type: Optional[BlockType] = None,
         detail: Optional[str] = None,
-    ) -> TraceEvent:
+    ) -> Optional[TraceEvent]:
         self._emit(stage, kind, duration, transport, block_type, detail)
+        if not self.enabled:
+            return None
         self._materialize()
         return self._events[-1]
 
@@ -220,8 +276,14 @@ class SessionTrace:
     # -- the bus -------------------------------------------------------------
 
     def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
-        """Attach an observer called synchronously on every emit."""
-        self._subscribers.append(callback)
+        """Attach an observer called synchronously on every emit.
+
+        On a disabled trace this is a no-op: no event will ever fire, and
+        disabled sessions may share the :data:`DISABLED_TRACE` singleton,
+        which must stay free of per-session state.
+        """
+        if self.enabled:
+            self._subscribers.append(callback)
 
     # -- inspection ----------------------------------------------------------
 
@@ -233,12 +295,26 @@ class SessionTrace:
 
     @property
     def events(self) -> List[TraceEvent]:
-        """The typed event log (materializes the raw storage in place)."""
+        """The typed event log (materializes the raw storage in place).
+
+        Ring-mode storage (a bounded deque) is handed back as a list so
+        callers always get the same interface.
+        """
         self._materialize()
+        if isinstance(self._events, deque):
+            return list(self._events)
         return self._events
 
     def __len__(self) -> int:
         return len(self._events)
+
+    def __bool__(self) -> bool:
+        # Truthiness means "live trace", NOT "has events".  Without this,
+        # ``__len__`` makes an *empty* enabled trace falsy, and the
+        # hot-path guard idiom ``trace = self.trace if self.trace.enabled
+        # else None`` followed by ``if trace: trace.begin(...)`` can never
+        # emit a first event.  Use ``len(trace)`` to ask about contents.
+        return self.enabled
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)
@@ -292,3 +368,17 @@ class SessionTrace:
                 parts.append(f"— {event.detail}")
             lines.append(" ".join(parts))
         return "\n".join(lines)
+
+
+def _no_clock() -> float:  # pragma: no cover — a disabled trace never reads it
+    raise AssertionError("disabled trace must never read the clock")
+
+
+#: Shared inert trace for sessions that record nothing (``TraceMode.OFF``
+#: and the unsampled majority under ``TraceMode.SAMPLED``).  Emission
+#: helpers return after one predicate check and :meth:`subscribe` is a
+#: no-op, so one instance can serve every disabled session — removing the
+#: per-request ``SessionTrace`` (and clock-closure) allocation that the
+#: OFF overhead budget cannot afford.  It carries no URL/actor: a
+#: disabled trace never holds data.
+DISABLED_TRACE = SessionTrace(_no_clock, enabled=False)

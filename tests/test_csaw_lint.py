@@ -207,6 +207,23 @@ class TestCSL003UnorderedIteration:
         """
         assert codes(src) == []
 
+    def test_fleet_record_array_sweeps_allowlisted(self):
+        """The repo config exempts ``core/fleet.py``: its id-set sweeps
+        fill integer-indexed record arrays (order-free folds), which the
+        set-tracking heuristic cannot see.  Everywhere else the same
+        shape still trips."""
+        config = load_config(str(REPO / "pyproject.toml"), str(REPO))
+        src = """
+        def sweep(due, versions, target):
+            ids = set(due)
+            for i in ids:
+                versions[i] = target
+        """
+        fleet = str(REPO / "src" / "repro" / "core" / "fleet.py")
+        other = str(REPO / "src" / "repro" / "core" / "localdb.py")
+        assert codes(src, path=fleet, config=config) == []
+        assert codes(src, path=other, config=config) == ["CSL003"]
+
 
 class TestCSL004RealIo:
     def test_trigger_socket_import_in_simnet(self):

@@ -1,0 +1,143 @@
+"""The fleet layer: record-array cohorts, batched pulls, convergence.
+
+The bench (``benchmarks/bench_fleet_storm.py``) proves the scale story;
+these tests pin the semantics at small sizes: same-seed determinism,
+worker-count invariance of the sharded fan-out, convergence accounting,
+batch sharing, and metric merging.
+"""
+
+import pytest
+
+from repro.core.fleet import (
+    ClientCohort,
+    FleetMetrics,
+    run_fleet_storm,
+    run_fleet_storm_sharded,
+)
+from repro.core.globaldb import ServerDB
+from repro.simnet.engine import Environment
+
+
+def small_storm(**overrides):
+    kwargs = dict(seed=7, n_ases=4, clients_per_as=60, urls_per_as=5,
+                  reporter_fraction=0.05)
+    kwargs.update(overrides)
+    return run_fleet_storm(**kwargs)
+
+
+class TestFleetStorm:
+    def test_same_seed_bit_identical(self):
+        a, b = small_storm(), small_storm()
+        assert a.summary() == b.summary()
+        assert a.convergence_by_as == b.convergence_by_as
+
+    def test_different_seed_differs(self):
+        a, b = small_storm(), small_storm(seed=8)
+        # Schedules are drawn from the seed; the storms must not collide.
+        assert a.summary() != b.summary()
+
+    def test_every_as_converges_within_horizon(self):
+        metrics = small_storm()
+        assert metrics.n_ases == 4
+        assert len(metrics.convergence_by_as) == 4
+        for asn, elapsed in metrics.convergence_by_as.items():
+            assert elapsed >= 0.0, f"AS {asn} never converged"
+            # A full pull cycle after the last report suffices.
+            assert elapsed <= 600.0 + 120.0
+        assert metrics.mean_convergence <= metrics.max_convergence
+
+    def test_reports_and_entries_match_wave(self):
+        metrics = small_storm()
+        reporters_per_as = max(1, round(60 * 0.05))
+        assert metrics.n_reporters == 4 * reporters_per_as
+        assert metrics.reports_absorbed == metrics.n_reporters * 5
+        # Voting dedupes: each AS's shard holds exactly the 5 wave URLs.
+        assert metrics.server_entries == 4 * 5
+
+    def test_batches_shared_across_cohort(self):
+        metrics = small_storm()
+        # Every client pulls ~2-3 times over the horizon, but batch
+        # construction is amortized per (AS, since-version, tick).
+        assert metrics.pulls_served >= 2 * metrics.n_clients
+        assert metrics.batches_built < metrics.pulls_served / 2
+
+    def test_sync_cost_accounted_per_client(self):
+        metrics = small_storm()
+        assert metrics.sync_rows >= metrics.n_clients  # everyone caught up
+        assert metrics.bytes_per_client > 0
+        assert metrics.rows_per_client >= 5  # the wave, at least once
+
+    def test_no_wave_no_convergence_entry(self):
+        server = ServerDB(entry_ttl=None)
+        env = Environment()
+        cohort = ClientCohort(server, asns=[1, 2], clients_per_as=10, seed=0)
+        env.process(cohort.run(env, until=1200.0))
+        env.run()
+        metrics = cohort.finalize()
+        assert metrics.reports_absorbed == 0
+        # No wave was started: convergence is reported as "did not".
+        assert set(metrics.convergence_by_as.values()) == {-1.0}
+        assert metrics.pulls_served > 0
+
+
+class TestShardedFanout:
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_worker_count_invariant(self, workers):
+        single = run_fleet_storm_sharded(
+            seed=5, n_ases=6, clients_per_as=30, workers=1
+        )
+        sharded = run_fleet_storm_sharded(
+            seed=5, n_ases=6, clients_per_as=30, workers=workers
+        )
+        assert sharded.summary() == single.summary()
+        assert sharded.convergence_by_as == single.convergence_by_as
+
+    def test_sharded_matches_unsharded(self):
+        plain = run_fleet_storm(seed=5, n_ases=6, clients_per_as=30)
+        sharded = run_fleet_storm_sharded(
+            seed=5, n_ases=6, clients_per_as=30, workers=3
+        )
+        assert sharded.summary() == plain.summary()
+
+    def test_more_workers_than_ases(self):
+        merged = run_fleet_storm_sharded(
+            seed=5, n_ases=2, clients_per_as=10, workers=5
+        )
+        assert merged.n_ases == 2
+        assert len(merged.convergence_by_as) == 2
+
+
+class TestFleetMetrics:
+    def test_merge_sums_and_concatenates(self):
+        a = FleetMetrics(
+            n_clients=10, n_ases=1, reports_absorbed=3,
+            first_report_at=12.0, last_report_at=17.0,
+            pulls_served=20, batches_built=2, sync_rows=30, sync_bytes=400,
+            server_entries=3, convergence_by_as={1: 10.0},
+        )
+        b = FleetMetrics(
+            n_clients=20, n_ases=2, reports_absorbed=4,
+            first_report_at=10.0, last_report_at=14.0,
+            pulls_served=40, batches_built=3, sync_rows=60, sync_bytes=800,
+            server_entries=6, convergence_by_as={2: 20.0, 3: -1.0},
+        )
+        merged = a.merge(b)
+        assert merged.n_clients == 30
+        # The window spans partitions: global first (10) to global last (17).
+        assert merged.report_window == 7.0
+        assert merged.sync_bytes == 1200
+        assert merged.convergence_by_as == {1: 10.0, 2: 20.0, 3: -1.0}
+        assert merged.bytes_per_client == pytest.approx(40.0)
+        # Unconverged ASes are excluded from the aggregates.
+        assert merged.mean_convergence == pytest.approx(15.0)
+        assert merged.max_convergence == pytest.approx(20.0)
+
+    def test_cohort_validates_inputs(self):
+        server = ServerDB(entry_ttl=None)
+        with pytest.raises(ValueError):
+            ClientCohort(server, asns=[1], clients_per_as=0, seed=0)
+        with pytest.raises(ValueError):
+            ClientCohort(
+                server, asns=[1], clients_per_as=5, seed=0,
+                reporter_fraction=0.0,
+            )

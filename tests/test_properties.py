@@ -263,3 +263,90 @@ class TestLocalDbProperties:
             scoped = [r for r in records if r.hostname_scoped]
             for record in scoped:
                 assert record.url == f"http://s{site}.example/"
+
+
+class TestSyncWireFormatProperties:
+    """The columnar batch path is an optimization of the row path —
+    hypothesis drives both through the same random post/dissent/pull
+    interleavings and demands bit-identical client state after every
+    pull (acceptance for the delta-sync wire format)."""
+
+    # (op, client index, url index, asn offset): op 0-2 posts, 3 dissents,
+    # 4 pulls on both views.
+    ops = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=1),
+        ),
+        max_size=40,
+    )
+
+    @staticmethod
+    def _state(view):
+        return (
+            view.version,
+            view.synced_asn,
+            [
+                (e.url, e.asn, tuple(e.stages), e.measured_at,
+                 e.posted_at, e.first_measured_at, e.last_uuid)
+                for e in view._entries.values()
+            ],
+        )
+
+    @given(ops)
+    @settings(max_examples=60)
+    def test_batch_and_row_merges_identical(self, operations):
+        from repro.core.reporting import GlobalView
+
+        server = ServerDB(entry_ttl=None)
+        uuids = [server.register(now=float(i)) for i in range(4)]
+        row_views = {1: GlobalView(), 2: GlobalView()}
+        batch_views = {1: GlobalView(), 2: GlobalView()}
+        now = 10.0
+        for op, client_index, url_index, asn_offset in operations:
+            now += 1.0
+            asn, url = 1 + asn_offset, f"http://u{url_index}.example/"
+            if op <= 2:
+                stages = (
+                    (BlockType.BLOCK_PAGE,)
+                    if op == 0
+                    else (BlockType.DNS_TIMEOUT, BlockType.BLOCK_PAGE)
+                )
+                server.post_update(
+                    uuids[client_index],
+                    [ReportItem(url=url, asn=asn, stages=stages,
+                                measured_at=now - 0.5)],
+                    now=now,
+                )
+            elif op == 3:
+                server.post_dissent(uuids[client_index], url, asn, now=now)
+            else:
+                rows, batches = row_views[asn], batch_views[asn]
+                result = server.sync_for_as(
+                    asn, now, since_version=rows.since_version(asn)
+                )
+                rows.apply_sync(result, now)
+                batch = server.sync_batch_for_as(
+                    asn, now, since_version=batches.since_version(asn)
+                )
+                batch_views[asn].apply_batch(batch, now)
+                assert batch.transferred == result.transferred
+        now += 1.0
+        for asn in (1, 2):
+            # One final pull so both views see the terminal server state.
+            rows, batches = row_views[asn], batch_views[asn]
+            rows.apply_sync(
+                server.sync_for_as(
+                    asn, now, since_version=rows.since_version(asn)
+                ),
+                now,
+            )
+            batches.apply_batch(
+                server.sync_batch_for_as(
+                    asn, now, since_version=batches.since_version(asn)
+                ),
+                now,
+            )
+            assert self._state(batches) == self._state(rows)
