@@ -8,6 +8,7 @@ Subcommands map to the paper's experiments:
 - ``wave``         §7.5 — the Twitter/Instagram blocking wave
 - ``oni``          Figure 2 — blocking-type mixes across 8 ASes
 - ``blockpages``   §4.3.1 — 2-phase detector accuracy on the corpus
+- ``scenario``     declarative scenario packs: run / list / run-all
 
 Each command prints a rendered table; ``--seed`` re-rolls the world.
 """
@@ -181,6 +182,79 @@ def _cmd_blockpages(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    from .scenarios import load_spec, shipped_packs
+
+    rows = []
+    for name, path in shipped_packs():
+        spec = load_spec(path)
+        rows.append([name, spec.resolved_mode(), spec.seed, spec.description])
+    print(render_table(
+        ["pack", "mode", "seed", "description"], rows,
+        title="shipped scenario packs (repro/scenarios/packs/)",
+    ))
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    from .scenarios import ScenarioRunner, SpecError, load_spec
+
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as err:
+        print(f"csaw-sim scenario: {err}", file=sys.stderr)
+        return 2
+    if args.seed is not None:
+        spec = spec.with_seed(args.seed)
+    outcome = ScenarioRunner().run(spec)
+    print(outcome.report.render())
+    return 0 if outcome.report.ok else 1
+
+
+def _cmd_scenario_run_all(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .scenarios import ScenarioRunner, load_spec, shipped_packs
+
+    runner = ScenarioRunner()
+    rows, timings, failed = [], [], []
+    for name, path in shipped_packs():
+        started = time.perf_counter()
+        outcome = runner.run(load_spec(path))
+        elapsed = time.perf_counter() - started
+        report = outcome.report
+        status = "PASS" if report.ok else "FAIL"
+        if not report.ok:
+            failed.append((name, report))
+        rows.append([
+            name, outcome.mode, status,
+            f"{len(report.checks) - len(report.failures)}/{len(report.checks)}",
+            f"{elapsed:.2f}s",
+        ])
+        timings.append({
+            "pack": name,
+            "mode": outcome.mode,
+            "ok": report.ok,
+            "checks": len(report.checks),
+            "failures": len(report.failures),
+            "seconds": round(elapsed, 3),
+        })
+    print(render_table(
+        ["pack", "mode", "status", "expectations", "runtime"], rows,
+        title="scenario packs — expectation checks",
+    ))
+    for name, report in failed:
+        print(f"\n{name}:")
+        print(report.diff())
+    if args.record:
+        with open(args.record, "w") as fh:
+            json.dump({"packs": timings}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\npack runtimes written to {args.record}")
+    return 1 if failed else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -236,6 +310,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     blockpages.add_argument("--isps", type=int, default=47)
     blockpages.set_defaults(func=_cmd_blockpages)
+    scenario = sub.add_parser(
+        "scenario", help="declarative scenario packs (run / list / run-all)",
+    )
+    ssub = scenario.add_subparsers(dest="scenario_command", required=True)
+    ssub.add_parser(
+        "list", help="list the shipped scenario packs"
+    ).set_defaults(func=_cmd_scenario_list)
+    scenario_run = ssub.add_parser(
+        "run", help="run one pack (by name or .toml path) and check "
+        "its expectations",
+    )
+    scenario_run.add_argument("spec", help="pack name or path to a spec.toml")
+    scenario_run.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's world seed",
+    )
+    scenario_run.set_defaults(func=_cmd_scenario_run)
+    scenario_run_all = ssub.add_parser(
+        "run-all", help="run every shipped pack; non-zero exit on any "
+        "expectation mismatch",
+    )
+    scenario_run_all.add_argument(
+        "--record", default=None, metavar="PATH",
+        help="write per-pack runtimes to this JSON file",
+    )
+    scenario_run_all.set_defaults(func=_cmd_scenario_run_all)
     report = sub.add_parser(
         "report", help="combine benchmarks/results/ into one markdown report",
         parents=[common],

@@ -1,4 +1,4 @@
-"""The csaw-lint rule catalogue (CSL001–CSL008).
+"""The csaw-lint rule catalogue (CSL001–CSL009).
 
 Each rule encodes one determinism/purity invariant the paper's numbers
 depend on (DESIGN.md §7 maps rules to figures).  All rules are
@@ -737,3 +737,43 @@ class InlineBlockTypeMapRule(Rule):
     def _names_block_type(node: ast.AST) -> bool:
         chain = _attr_chain(node)
         return bool(chain) and len(chain) >= 2 and "BlockType" in chain[:-1]
+
+
+# -- CSL009: scenarios are specs, not hand-built worlds ------------------------
+
+
+@register
+class SpecBackedScenarioRule(Rule):
+    """Canned scenarios must go through the scenario DSL.
+
+    Since the spec redesign, ``repro.scenarios`` owns world construction:
+    a scenario is a :class:`ScenarioSpec` compiled by the
+    ``ScenarioCompiler``, so every canned world is data that the runner,
+    the CLI, and the expectation checker can all load.  A stray
+    ``World(...)`` or ``CensorPolicy(...)`` call in a scenario module
+    forks the construction path and silently escapes the golden
+    equivalence tests — build a spec (or extend the compiler) instead.
+    """
+
+    code = "CSL009"
+    name = "spec-backed-scenarios"
+    message = (
+        "scenario modules must not build World/CensorPolicy directly: "
+        "declare a ScenarioSpec and compile it via repro.scenarios"
+    )
+    scope = (
+        "src/repro/workloads/scenarios.py",
+        "src/repro/workloads/events.py",
+        "src/repro/scenarios/library.py",
+    )
+    allow = ("src/repro/scenarios/compiler.py",)
+
+    _BUILDERS = {"World", "CensorPolicy"}
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain and chain[-1] in self._BUILDERS:
+                yield ctx.violation(self, node)

@@ -1,0 +1,93 @@
+"""Mechanism vocabulary: spec strings -> censor ``Rule`` verdicts.
+
+One registry maps the declarative mechanism names (the §2.1 taxonomy)
+onto per-stage verdict constructors.  A rule lists one or more
+mechanisms; each contributes a verdict for exactly one stage (dns, ip,
+http, tls), and multi-stage blocking — ISP-B's DNS redirect *plus*
+HTTP/TLS drops — is just several names on one rule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..censor.actions import (
+    DnsAction,
+    DnsVerdict,
+    HttpAction,
+    HttpVerdict,
+    IpAction,
+    IpVerdict,
+    TlsAction,
+    TlsVerdict,
+)
+from ..censor.policy import Matcher, Rule
+from .spec import SpecError
+
+__all__ = ["MECHANISMS", "build_rule"]
+
+
+def _dns(action: DnsAction):
+    def make(blockpage_ip, redirect_ip, where):
+        if action is DnsAction.REDIRECT:
+            if not redirect_ip:
+                raise SpecError(f"{where}: dns-redirect needs redirect_ip")
+            return "dns", DnsVerdict(action, redirect_ip=redirect_ip)
+        return "dns", DnsVerdict(action)
+
+    return make
+
+
+def _blockpage(action: HttpAction):
+    def make(blockpage_ip, redirect_ip, where):
+        if not blockpage_ip:
+            raise SpecError(
+                f"{where}: {action.value} needs a blockpage (declare one "
+                "under [[blockpages]])"
+            )
+        return "http", HttpVerdict(action, blockpage_ip=blockpage_ip)
+
+    return make
+
+
+MECHANISMS = {
+    "dns-redirect": _dns(DnsAction.REDIRECT),
+    "dns-nxdomain": _dns(DnsAction.NXDOMAIN),
+    "dns-servfail": _dns(DnsAction.SERVFAIL),
+    "dns-refused": _dns(DnsAction.REFUSED),
+    "dns-timeout": _dns(DnsAction.TIMEOUT),
+    "ip-drop": lambda b, r, w: ("ip", IpVerdict(IpAction.DROP)),
+    "ip-rst": lambda b, r, w: ("ip", IpVerdict(IpAction.RST)),
+    "http-drop": lambda b, r, w: ("http", HttpVerdict(HttpAction.DROP)),
+    "http-rst": lambda b, r, w: ("http", HttpVerdict(HttpAction.RST)),
+    "tls-drop": lambda b, r, w: ("tls", TlsVerdict(TlsAction.DROP)),
+    "tls-rst": lambda b, r, w: ("tls", TlsVerdict(TlsAction.RST)),
+    "blockpage-redirect": _blockpage(HttpAction.BLOCKPAGE_REDIRECT),
+    "blockpage-iframe": _blockpage(HttpAction.BLOCKPAGE_IFRAME),
+}
+
+
+def build_rule(
+    matcher: Matcher,
+    mechanisms: Tuple[str, ...],
+    blockpage_ip: Optional[str] = None,
+    redirect_ip: Optional[str] = None,
+    label: str = "",
+    where: str = "rule",
+) -> Rule:
+    """Fuse the listed mechanisms into one first-match censor rule."""
+    verdicts = {}
+    for name in mechanisms:
+        maker = MECHANISMS.get(name)
+        if maker is None:
+            raise SpecError(
+                f"{where}: unknown mechanism {name!r} "
+                f"(known: {', '.join(sorted(MECHANISMS))})"
+            )
+        stage, verdict = maker(blockpage_ip, redirect_ip, where)
+        if stage in verdicts:
+            raise SpecError(
+                f"{where}: mechanisms {mechanisms!r} set the {stage} stage twice"
+            )
+        verdicts[stage] = verdict
+    return Rule(matcher=matcher, label=label, **verdicts)

@@ -5,47 +5,38 @@ Instagram — each AS with its own mechanism, at its own time.  C-Saw users
 who tried the services produced a timeline of (time, AS, service,
 symptom) measurements in the global database.
 
-:func:`run_blocking_wave` replays that: four ASes, per-AS blocking events
-scheduled mid-simulation, a handful of users per AS browsing both
-services, and the resulting global-DB snapshot rendered as the paper's
-bullet list.
+:func:`run_blocking_wave` replays that.  Since the scenario-DSL redesign
+the wave world is data — :func:`repro.scenarios.library.wave_spec` —
+and :class:`BlockingWave` is a compatibility wrapper that compiles the
+spec and drives it through :mod:`repro.scenarios.runner`; same-seed
+output is bit-identical to the pre-redesign imperative builder (the
+golden fingerprints in ``tests/data/scenario_golden.json`` prove it).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from ..censor.actions import DnsAction, DnsVerdict, HttpAction, HttpVerdict
-from ..censor.blockpages import DEFAULT_BLOCKPAGE_HTML
-from ..censor.policy import CensorPolicy, Matcher, Rule
-from ..circumvent import (
-    HttpsTransport,
-    LanternNetwork,
-    LanternTransport,
-    PublicDnsTransport,
-    TorNetwork,
-    TorTransport,
-)
-from ..core import CSawClient, CSawConfig, ServerDB
+from ..core import CSawClient, ServerDB
+from ..scenarios.compiler import CompiledScenario, ScenarioCompiler
+from ..scenarios.library import INSTAGRAM, TWITTER, WAVE_ASNS, wave_spec
+from ..scenarios.runner import SYMPTOM_LABELS, drive_clients, symptom_for
+from ..scenarios.spec import EventSpec, SpecError
 from ..simnet.rng import RngRegistry
-from ..simnet.web import WebPage
 from ..simnet.world import World
 
 __all__ = ["BlockingEvent", "WaveObservation", "BlockingWave", "run_blocking_wave"]
 
-TWITTER = "twitter.com"
-INSTAGRAM = "www.instagram.com"
+# Symptom labels in the paper's snapshot vocabulary (now shared with the
+# scenario runner; kept under the historical name for importers).
+_SYMPTOM_LABEL = SYMPTOM_LABELS
 
-# Symptom labels in the paper's snapshot vocabulary.
-_SYMPTOM_LABEL = {
-    "http-get-timeout": "HTTP_GET_TIMEOUT",
-    "block-page": "HTTP_GET_BLOCKPAGE",
-    "dns-redirect": "DNS blocking",
-    "dns-nxdomain": "DNS blocking",
-    "dns-servfail": "DNS blocking",
-    "dns-timeout": "DNS blocking",
-    "tcp-timeout": "TCP/IP blocking",
+# Legacy shorthand mechanisms -> scenario-DSL mechanism lists.
+_LEGACY_MECHANISMS = {
+    "http-drop": ("http-drop",),
+    "blockpage": ("blockpage-redirect",),
+    "dns": ("dns-redirect", "http-drop"),
 }
 
 
@@ -57,6 +48,19 @@ class BlockingEvent:
     asn: int
     domain: str
     mechanism: str  # "http-drop" | "blockpage" | "dns"
+
+    def to_spec(self) -> EventSpec:
+        mechanisms = _LEGACY_MECHANISMS.get(self.mechanism)
+        if mechanisms is None:
+            raise SpecError(f"unknown mechanism: {self.mechanism!r}")
+        return EventSpec(
+            time=self.time,
+            asn=self.asn,
+            domain=self.domain,
+            mechanisms=mechanisms,
+            redirect_ip="10.66.66.66",
+            label=self.domain,
+        )
 
 
 @dataclass(frozen=True)
@@ -77,9 +81,10 @@ class WaveObservation:
 
 
 class BlockingWave:
-    """Builds the four-AS world and replays the blocking timeline."""
+    """Builds the four-AS world (via :func:`wave_spec`) and replays the
+    blocking timeline."""
 
-    DEFAULT_ASNS = (38193, 17557, 59257, 45773)
+    DEFAULT_ASNS = WAVE_ASNS
 
     def __init__(
         self,
@@ -92,12 +97,11 @@ class BlockingWave:
         self.users_per_as = users_per_as
         self.browse_interval = browse_interval
         self.duration = duration
-        self.world = World(seed=seed)
-        self.server = ServerDB(entry_ttl=None)
         self.events: List[BlockingEvent] = []
-        self._policies: Dict[int, CensorPolicy] = {}
-        self._blockpage_ip: Optional[str] = None
+        self.world: Optional[World] = None
+        self.server: Optional[ServerDB] = None
         self.clients: List[CSawClient] = []
+        self._compiled: Optional[CompiledScenario] = None
 
     def default_timeline(self) -> List[BlockingEvent]:
         """The paper's snapshot: Twitter first (two ASes, different
@@ -114,107 +118,26 @@ class BlockingWave:
     # -- construction ---------------------------------------------------------
 
     def build(self, events: Optional[List[BlockingEvent]] = None) -> "BlockingWave":
-        world = self.world
         self.events = events if events is not None else self.default_timeline()
-        world.add_public_resolver()
-
-        for service, size in ((TWITTER, 250_000), (INSTAGRAM, 500_000)):
-            world.web.add_site(service, location="us-east", bandwidth_bps=300e6)
-            world.web.add_page(f"http://{service}/", size_bytes=size)
-
-        html = DEFAULT_BLOCKPAGE_HTML
-        site = world.web.add_site(
-            "block.pta.example",
-            location="pakistan",
-            supports_https=False,
-            catch_all=lambda path: WebPage(
-                url=f"http://block.pta.example{path}",
-                size_bytes=max(900, len(html)),
-                html=html,
-                category="blockpage",
-            ),
+        spec = wave_spec(
+            seed=self.seed,
+            users_per_as=self.users_per_as,
+            browse_interval=self.browse_interval,
+            duration=self.duration,
+            events=[event.to_spec() for event in self.events],
         )
-        self._blockpage_ip = site.host.ip
-
-        tor = TorNetwork.build(world, n_relays=30)
-        lantern = LanternNetwork.build(world, n_proxies=8)
-
-        for asn in self.DEFAULT_ASNS:
-            policy = CensorPolicy(name=f"AS{asn}")
-            self._policies[asn] = policy
-            isp = world.add_isp(asn, f"AS{asn}", policy=policy)
-            for index in range(self.users_per_as):
-                name = f"wave-user-{asn}-{index}"
-                client = CSawClient(
-                    world,
-                    name,
-                    [isp],
-                    transports=[
-                        PublicDnsTransport(),
-                        HttpsTransport(),
-                        TorTransport(tor.client(f"tor/{name}")),
-                        LanternTransport(lantern, user_stream=f"lantern/{name}"),
-                    ],
-                    server_db=self.server,
-                    config=CSawConfig(
-                        record_ttl=4 * 3600.0,  # short TTL: re-measure often
-                        report_interval=1800.0,
-                        download_interval=1800.0,
-                    ),
-                )
-                self.clients.append(client)
+        self._compiled = ScenarioCompiler().compile(spec)
+        self.world = self._compiled.world
+        self.server = self._compiled.server
+        self.clients = self._compiled.clients
         return self
 
-    def _rule_for(self, event: BlockingEvent) -> Rule:
-        matcher = Matcher(domains={event.domain})
-        if event.mechanism == "http-drop":
-            return Rule(matcher=matcher, http=HttpVerdict(HttpAction.DROP),
-                        label=event.domain)
-        if event.mechanism == "blockpage":
-            return Rule(
-                matcher=matcher,
-                http=HttpVerdict(
-                    HttpAction.BLOCKPAGE_REDIRECT, blockpage_ip=self._blockpage_ip
-                ),
-                label=event.domain,
-            )
-        if event.mechanism == "dns":
-            return Rule(
-                matcher=matcher,
-                dns=DnsVerdict(DnsAction.REDIRECT, redirect_ip="10.66.66.66"),
-                http=HttpVerdict(HttpAction.DROP),
-                label=event.domain,
-            )
-        raise ValueError(f"unknown mechanism: {event.mechanism!r}")
-
     # -- driving -----------------------------------------------------------------
-
-    def _censor_process(self):
-        env = self.world.env
-        for event in sorted(self.events, key=lambda e: e.time):
-            yield env.timeout(max(0.0, event.time - env.now))
-            self._policies[event.asn].add_rule(self._rule_for(event))
-
-    def _user_process(self, client: CSawClient, rng):
-        env = self.world.env
-        yield env.timeout(rng.uniform(0, 600))
-        yield from client.install()
-        client.start_background(until=self.duration)
-        while env.now < self.duration:
-            yield env.timeout(rng.expovariate(1.0 / self.browse_interval))
-            url = f"http://{rng.choice([TWITTER, INSTAGRAM])}/"
-            response = yield from client.request(url)
-            yield response.measurement_process
 
     def run(self) -> List[WaveObservation]:
         if not self.clients:
             self.build()
-        world = self.world
-        world.env.process(self._censor_process())
-        for index, client in enumerate(self.clients):
-            rng = world.rngs.fork(f"wave-{index}").stream("behaviour")
-            world.env.process(self._user_process(client, rng))
-        world.env.run()
+        drive_clients(self._compiled)
         return self.observations()
 
     # -- results -------------------------------------------------------------------
@@ -223,19 +146,12 @@ class BlockingWave:
         found = []
         for entry in self.server.all_entries():
             service = "Twitter" if "twitter" in entry.url else "Instagram"
-            symptom = "unknown"
-            for stage in entry.stages:
-                label = _SYMPTOM_LABEL.get(stage.value)
-                if label is not None:
-                    symptom = label
-                    if label == "DNS blocking":
-                        break
             found.append(
                 WaveObservation(
                     detected_at=entry.first_measured_at,
                     asn=entry.asn,
                     service=service,
-                    symptom=symptom,
+                    symptom=symptom_for(entry.stages),
                 )
             )
         return sorted(found, key=lambda o: o.detected_at)
@@ -262,7 +178,8 @@ def staggered_rollout(
     ``random.Random`` (or an ``RngRegistry`` stream) to tie the draws to
     an experiment seed; the default is the registry's seed-0
     ``"staggered-rollout"`` stream, so even the no-arg call is
-    reproducible and covered by CSL001.
+    reproducible and covered by CSL001.  (The declarative counterpart is
+    a ``[rolling]`` section in a scenario spec.)
     """
     if rng is None:
         rng = RngRegistry(seed=0).stream("staggered-rollout")

@@ -1,4 +1,4 @@
-"""Canned experiment worlds.
+"""Canned experiment worlds (spec-backed wrappers).
 
 :func:`pakistan_case_study` rebuilds the paper's measurement setting
 (§2.3, Table 1): a University/home vantage in Pakistan behind two large
@@ -10,10 +10,13 @@ ISPs with *different* filtering stacks —
   to a local host *and* HTTP/HTTPS request drops) and iframe block pages
   for everything else.
 
-The world also hosts everything the evaluation compares against: a Tor
-relay population, a Lantern proxy pool, the ten static proxies of
-Table 2, a domain-fronting front, a public resolver, and the five
-specially-blocked sites used to calibrate detection times (Table 5).
+Since the scenario-DSL redesign both worlds are *data*: the builders
+here are thin wrappers that compile
+:func:`repro.scenarios.library.pakistan_spec` /
+:func:`~repro.scenarios.library.centralized_spec` and re-bundle the
+result into the historical dataclasses.  Same seed, same world,
+bit-for-bit (``tests/test_scenario_dsl.py`` holds the golden
+fingerprints) — only the construction path changed.
 """
 
 from __future__ import annotations
@@ -21,18 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..censor.actions import (
-    DnsAction,
-    DnsVerdict,
-    HttpAction,
-    HttpVerdict,
-    IpAction,
-    IpVerdict,
-    TlsAction,
-    TlsVerdict,
-)
-from ..censor.blockpages import DEFAULT_BLOCKPAGE_HTML
-from ..censor.policy import CensorPolicy, Matcher, Rule
 from ..circumvent import (
     DomainFrontingTransport,
     HttpsTransport,
@@ -44,34 +35,27 @@ from ..circumvent import (
     TorNetwork,
     TorTransport,
     Transport,
-    build_proxy_fleet,
+)
+from ..scenarios.compiler import ScenarioCompiler
+from ..scenarios.library import (
+    CLEAN_ASN,
+    FRONT,
+    ISP_A_ASN,
+    ISP_B_ASN,
+    LARGE_UNBLOCKED,
+    PORN_SITE,
+    SMALL_UNBLOCKED,
+    TABLE5_SITES,
+    YOUTUBE,
+    centralized_spec,
+    pakistan_spec,
 )
 from ..simnet.topology import AutonomousSystem, Host
-from ..simnet.web import WebPage
 from ..simnet.world import World
 
 __all__ = ["CaseStudyScenario", "pakistan_case_study", "BLOCKED_CATEGORIES"]
 
 BLOCKED_CATEGORIES = ("porn", "political", "religious")
-
-ISP_A_ASN = 17557
-ISP_B_ASN = 38193
-CLEAN_ASN = 9541
-
-YOUTUBE = "www.youtube.com"
-FRONT = "www.google.com"
-PORN_SITE = "www.hotstuff-videos.com"
-SMALL_UNBLOCKED = "www.smallnews.example.com"
-LARGE_UNBLOCKED = "www.bigmedia.example.com"
-
-# The five Table-5 calibration sites, one per blocking mechanism.
-TABLE5_SITES = {
-    "tcp-ip": "www.blocked-tcpip.example.com",
-    "dns-servfail": "www.blocked-dnsfail.example.com",
-    "dns-refused": "www.blocked-dnsrefused.example.com",
-    "http-blockpage": "www.blocked-http.example.com",
-    "tcp-ip+dns": "www.blocked-multi.example.com",
-}
 
 
 @dataclass
@@ -128,22 +112,6 @@ class CaseStudyScenario:
         return self.make_transports(client_name, include=["lantern"])[0]
 
 
-def _blockpage_site(world: World, hostname: str, html: str) -> Host:
-    page_factory = lambda path: WebPage(  # noqa: E731 - tiny closure
-        url=f"http://{hostname}{path}",
-        size_bytes=max(900, len(html)),
-        html=html,
-        category="blockpage",
-    )
-    site = world.web.add_site(
-        hostname,
-        location="pakistan",
-        supports_https=False,
-        catch_all=page_factory,
-    )
-    return site.host
-
-
 def pakistan_case_study(
     seed: int = 1,
     n_tor_relays: int = 40,
@@ -151,158 +119,24 @@ def pakistan_case_study(
     with_proxy_fleet: bool = True,
 ) -> CaseStudyScenario:
     """Build the full case-study world (§2.3 / Table 1 / §7)."""
-    world = World(seed=seed)
-    world.add_public_resolver()
-
-    # --- content sites -----------------------------------------------------
-    world.web.add_site(
-        YOUTUBE, location="global-anycast", supports_https=True,
-        supports_fronting=True, bandwidth_bps=200e6,
+    spec = pakistan_spec(
+        seed=seed,
+        n_tor_relays=n_tor_relays,
+        n_lantern_proxies=n_lantern_proxies,
+        with_proxy_fleet=with_proxy_fleet,
     )
-    world.web.add_page(f"http://{YOUTUBE}/", size_bytes=360_000, category="video")
-    world.web.add_site(FRONT, location="global-anycast", bandwidth_bps=400e6)
-    world.web.add_page(f"http://{FRONT}/", size_bytes=15_000)
-    world.web.add_site(PORN_SITE, location="us-east")
-    world.web.add_page(f"http://{PORN_SITE}/", size_bytes=50_000, category="porn")
-    world.web.add_site(SMALL_UNBLOCKED, location="netherlands")
-    world.web.add_page(f"http://{SMALL_UNBLOCKED}/", size_bytes=95_000)
-    world.web.add_site(LARGE_UNBLOCKED, location="us-east")
-    world.web.add_page(f"http://{LARGE_UNBLOCKED}/", size_bytes=316_000)
-    for hostname in TABLE5_SITES.values():
-        world.web.add_site(hostname, location="us-east")
-        world.web.add_page(f"http://{hostname}/", size_bytes=300_000)
-
-    # --- block-page servers ---------------------------------------------------
-    blockpage_a = _blockpage_site(
-        world, "block.isp-a.pk", DEFAULT_BLOCKPAGE_HTML
-    )
-    blockpage_b = _blockpage_site(
-        world,
-        "block.isp-b.pk",
-        DEFAULT_BLOCKPAGE_HTML.replace("ISP-A", "ISP-B"),
-    )
-
-    # --- censor policies (Table 1) -----------------------------------------------
-    blocked_content = Matcher(
-        domains={PORN_SITE, "hotstuff-videos.com"},
-        keywords={"porn", "xxx", "adult-videos"},
-    )
-
-    policy_a = CensorPolicy(name="ISP-A")
-    policy_a.add_rule(
-        Rule(
-            matcher=Matcher(domains={"youtube.com"}),
-            http=HttpVerdict(
-                HttpAction.BLOCKPAGE_REDIRECT, blockpage_ip=blockpage_a.ip
-            ),
-            label="youtube",
-        )
-    )
-    policy_a.add_rule(
-        Rule(
-            matcher=blocked_content,
-            http=HttpVerdict(
-                HttpAction.BLOCKPAGE_REDIRECT, blockpage_ip=blockpage_a.ip
-            ),
-            label="content",
-        )
-    )
-    # Table-5 calibration rules live on ISP-A (the measurement vantage).
-    tcpip_ip = world.network.hosts_by_name[TABLE5_SITES["tcp-ip"]].ip
-    multi_ip = world.network.hosts_by_name[TABLE5_SITES["tcp-ip+dns"]].ip
-    policy_a.add_rule(
-        Rule(
-            matcher=Matcher(domains={TABLE5_SITES["tcp-ip"]}, ips={tcpip_ip}),
-            ip=IpVerdict(IpAction.DROP),
-            label="table5-tcpip",
-        )
-    )
-    policy_a.add_rule(
-        Rule(
-            matcher=Matcher(domains={TABLE5_SITES["dns-servfail"]}),
-            dns=DnsVerdict(DnsAction.SERVFAIL),
-            label="table5-servfail",
-        )
-    )
-    policy_a.add_rule(
-        Rule(
-            matcher=Matcher(domains={TABLE5_SITES["dns-refused"]}),
-            dns=DnsVerdict(DnsAction.REFUSED),
-            label="table5-refused",
-        )
-    )
-    policy_a.add_rule(
-        Rule(
-            matcher=Matcher(domains={TABLE5_SITES["http-blockpage"]}),
-            http=HttpVerdict(
-                HttpAction.BLOCKPAGE_REDIRECT, blockpage_ip=blockpage_a.ip
-            ),
-            label="table5-http",
-        )
-    )
-    policy_a.add_rule(
-        Rule(
-            matcher=Matcher(domains={TABLE5_SITES["tcp-ip+dns"]}, ips={multi_ip}),
-            dns=DnsVerdict(DnsAction.SERVFAIL),
-            ip=IpVerdict(IpAction.DROP),
-            label="table5-multi",
-        )
-    )
-
-    policy_b = CensorPolicy(name="ISP-B")
-    # ISP-B's DPI also drops requests addressed to YouTube's IP literally
-    # (Host: <ip>), so the ip-as-hostname trick fails there and C-Saw is
-    # pushed to domain fronting — the paper's HTTPS/DF-at-ISP-B story.
-    youtube_ip = world.network.hosts_by_name[YOUTUBE].ip
-    policy_b.add_rule(
-        Rule(
-            matcher=Matcher(domains={"youtube.com"}, keywords={youtube_ip}),
-            dns=DnsVerdict(DnsAction.REDIRECT, redirect_ip="10.11.12.13"),
-            http=HttpVerdict(HttpAction.DROP),
-            tls=TlsVerdict(TlsAction.DROP),
-            label="youtube-multistage",
-        )
-    )
-    policy_b.add_rule(
-        Rule(
-            matcher=blocked_content,
-            http=HttpVerdict(
-                HttpAction.BLOCKPAGE_IFRAME, blockpage_ip=blockpage_b.ip
-            ),
-            label="content",
-        )
-    )
-
-    isp_a = world.add_isp(ISP_A_ASN, "ISP-A", policy=policy_a)
-    isp_b = world.add_isp(ISP_B_ASN, "ISP-B", policy=policy_b)
-    isp_clean = world.add_isp(CLEAN_ASN, "ISP-Clean")
-
-    # --- circumvention infrastructure ----------------------------------------------
-    tor = TorNetwork.build(world, n_relays=n_tor_relays)
-    lantern = LanternNetwork.build(world, n_proxies=n_lantern_proxies)
-    proxies = build_proxy_fleet(world) if with_proxy_fleet else []
-
-    urls = {
-        "youtube": f"http://{YOUTUBE}/",
-        "porn": f"http://{PORN_SITE}/",
-        "small-unblocked": f"http://{SMALL_UNBLOCKED}/",
-        "large-unblocked": f"http://{LARGE_UNBLOCKED}/",
-    }
-    urls.update(
-        {f"table5/{key}": f"http://{host}/" for key, host in TABLE5_SITES.items()}
-    )
-
+    compiled = ScenarioCompiler().compile(spec)
     return CaseStudyScenario(
-        world=world,
-        isp_a=isp_a,
-        isp_b=isp_b,
-        isp_clean=isp_clean,
-        blockpage_a=blockpage_a,
-        blockpage_b=blockpage_b,
-        tor=tor,
-        lantern=lantern,
-        proxy_transports=proxies,
-        urls=urls,
+        world=compiled.world,
+        isp_a=compiled.isps[ISP_A_ASN],
+        isp_b=compiled.isps[ISP_B_ASN],
+        isp_clean=compiled.isps[CLEAN_ASN],
+        blockpage_a=compiled.blockpages["block.isp-a.pk"],
+        blockpage_b=compiled.blockpages["block.isp-b.pk"],
+        tor=compiled.tor,
+        lantern=compiled.lantern,
+        proxy_transports=compiled.proxies,
+        urls=dict(spec.urls),
     )
 
 
@@ -315,25 +149,18 @@ class CentralizedScenario:
 
     world: World
     isps: List[AutonomousSystem]
-    policy: CensorPolicy
+    policy: object  # the shared CensorPolicy
     blockpage: Host
     tor: TorNetwork
     lantern: LanternNetwork
     urls: Dict[str, str] = field(default_factory=dict)
 
     def make_transports(self, client_name: str) -> List[Transport]:
-        from ..circumvent import (
-            HttpsTransport as _Https,
-            LanternTransport as _Lantern,
-            PublicDnsTransport as _PublicDns,
-            TorTransport as _Tor,
-        )
-
         return [
-            _PublicDns(),
-            _Https(),
-            _Tor(self.tor.client(f"tor/{client_name}")),
-            _Lantern(self.lantern, user_stream=f"lantern/{client_name}"),
+            PublicDnsTransport(),
+            HttpsTransport(),
+            TorTransport(self.tor.client(f"tor/{client_name}")),
+            LanternTransport(self.lantern, user_stream=f"lantern/{client_name}"),
         ]
 
 
@@ -342,46 +169,14 @@ def centralized_country(
 ) -> CentralizedScenario:
     """Build a centrally-censored country: one policy object shared by
     every ISP (think Iran/South Korea in §2)."""
-    world = World(seed=seed)
-    world.add_public_resolver()
-
-    world.web.add_site(YOUTUBE, location="global-anycast", supports_https=True,
-                       supports_fronting=True)
-    world.web.add_page(f"http://{YOUTUBE}/", size_bytes=360_000,
-                       category="video")
-    world.web.add_site(SMALL_UNBLOCKED, location="netherlands")
-    world.web.add_page(f"http://{SMALL_UNBLOCKED}/", size_bytes=95_000)
-
-    blockpage = _blockpage_site(
-        world, "block.national-filter.example", DEFAULT_BLOCKPAGE_HTML
-    )
-    policy = CensorPolicy(name="national")
-    policy.add_rule(
-        Rule(
-            matcher=Matcher(domains={"youtube.com"}),
-            http=HttpVerdict(
-                HttpAction.BLOCKPAGE_REDIRECT, blockpage_ip=blockpage.ip
-            ),
-            label="national-youtube",
-        )
-    )
-
-    isps = [
-        world.add_isp(50000 + index, f"{country}-ISP-{index}",
-                      country=country, policy=policy)
-        for index in range(n_isps)
-    ]
-    tor = TorNetwork.build(world, n_relays=30)
-    lantern = LanternNetwork.build(world, n_proxies=8)
+    spec = centralized_spec(seed=seed, n_isps=n_isps, country=country)
+    compiled = ScenarioCompiler().compile(spec)
     return CentralizedScenario(
-        world=world,
-        isps=isps,
-        policy=policy,
-        blockpage=blockpage,
-        tor=tor,
-        lantern=lantern,
-        urls={
-            "youtube": f"http://{YOUTUBE}/",
-            "small-unblocked": f"http://{SMALL_UNBLOCKED}/",
-        },
+        world=compiled.world,
+        isps=[compiled.isps[a.asn] for a in spec.ases],
+        policy=compiled.policies["national"],
+        blockpage=compiled.blockpages["block.national-filter.example"],
+        tor=compiled.tor,
+        lantern=compiled.lantern,
+        urls=dict(spec.urls),
     )

@@ -56,3 +56,71 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "No. of users" in out
+
+
+class TestScenarioCommands:
+    def test_list_names_all_shipped_packs(self, capsys):
+        from repro.scenarios import shipped_packs
+
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name, _ in shipped_packs():
+            assert name in out
+
+    def test_run_pack_by_name_prints_report(self, capsys):
+        assert main(["scenario", "run", "vantage-disagreement"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "classification" in out
+
+    def test_run_pack_by_path(self, capsys, tmp_path):
+        from repro.scenarios import shipped_packs
+
+        path = dict(shipped_packs())["sybil-flood"]
+        assert main(["scenario", "run", path]) == 0
+        out = capsys.readouterr().out
+        assert "reputation" in out
+
+    def test_run_unknown_pack_errors(self, capsys):
+        assert main(["scenario", "run", "no-such-pack"]) == 2
+        err = capsys.readouterr().err
+        assert "no-such-pack" in err
+        assert "vantage-disagreement" in err  # names the shipped packs
+
+    def test_run_failing_expectations_exits_nonzero(self, capsys, tmp_path):
+        spec = tmp_path / "wrong.toml"
+        spec.write_text(
+            """
+name = "wrong"
+description = "deliberately wrong expectation"
+
+[[sites]]
+hostname = "open.example.com"
+
+[[ases]]
+asn = 64900
+
+[[expect.verdict]]
+url = "http://open.example.com/"
+asn = 64900
+status = "blocked"
+"""
+        )
+        assert main(["scenario", "run", str(spec)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "expected" in out and "observed" in out
+
+    def test_run_all_records_timings(self, capsys, tmp_path):
+        import json
+
+        from repro.scenarios import shipped_packs
+
+        record = tmp_path / "times.json"
+        assert main(["scenario", "run-all", "--record", str(record)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("PASS") == len(shipped_packs())
+        data = json.loads(record.read_text())
+        packs = {entry["pack"] for entry in data["packs"]}
+        assert packs == {name for name, _ in shipped_packs()}
+        assert all(entry["seconds"] >= 0 for entry in data["packs"])

@@ -410,6 +410,52 @@ class TestCSL008InlineBlockTypeMap:
         assert codes(src, path=CORE) == []
 
 
+class TestCSL009SpecBackedScenarios:
+    SCENARIOS = f"{ROOT}/src/repro/workloads/scenarios.py"
+    LIBRARY = f"{ROOT}/src/repro/scenarios/library.py"
+
+    def test_trigger_direct_world_and_policy(self):
+        src = """
+        from repro.censor.policy import CensorPolicy
+        from repro.simnet.world import World
+
+        def build(seed):
+            world = World(seed=seed)
+            policy = CensorPolicy(name="national")
+            return world, policy
+        """
+        assert codes(src, path=self.SCENARIOS) == ["CSL009", "CSL009"]
+
+    def test_trigger_attribute_chain(self):
+        src = """
+        from repro import simnet
+
+        def build(seed):
+            return simnet.world.World(seed=seed)
+        """
+        assert codes(src, path=self.LIBRARY) == ["CSL009"]
+
+    def test_clean_spec_backed_wrapper(self):
+        src = """
+        from repro.scenarios.compiler import ScenarioCompiler
+        from repro.scenarios.library import pakistan_spec
+
+        def build(seed):
+            return ScenarioCompiler().compile(pakistan_spec(seed=seed))
+        """
+        assert codes(src, path=self.SCENARIOS) == []
+
+    def test_out_of_scope_modules_unaffected(self):
+        src = """
+        from repro.simnet.world import World
+
+        def build(seed):
+            return World(seed=seed)
+        """
+        assert codes(src, path=CORE) == []
+        assert codes(src, path=f"{ROOT}/src/repro/scenarios/compiler.py") == []
+
+
 # -- suppressions --------------------------------------------------------------
 
 
@@ -589,8 +635,8 @@ class TestCli:
 
 
 class TestRepoEnforcement:
-    def test_all_eight_rules_registered(self):
-        assert sorted(all_rules()) == [f"CSL00{i}" for i in range(1, 9)]
+    def test_all_nine_rules_registered(self):
+        assert sorted(all_rules()) == [f"CSL00{i}" for i in range(1, 10)]
 
     def test_src_tree_is_lint_clean(self, capsys):
         rc = main([str(REPO / "src"), "--config", str(REPO / "pyproject.toml")])

@@ -1,0 +1,315 @@
+"""The scenario DSL: spec validation, the TOML subset parser, the
+compiler, and — the redesign's contract — golden equivalence: the
+spec-backed legacy wrappers must rebuild the pre-redesign worlds
+bit-for-bit under the same seed (``tests/data/scenario_golden.json``
+was captured from the imperative builders before the refactor)."""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from tests._scenario_fingerprint import (
+    case_study_fingerprint,
+    centralized_fingerprint,
+    load_golden,
+    wave_fingerprint,
+)
+from repro.scenarios import (
+    ScenarioCompiler,
+    ScenarioRunner,
+    ScenarioSpec,
+    SpecError,
+    load_spec,
+    pakistan_spec,
+    shipped_packs,
+)
+from repro.scenarios.spec import _parse_toml_subset, load_toml_file
+
+
+MINIMAL = {
+    "name": "minimal",
+    "description": "one open site, one AS",
+    "sites": [{"hostname": "open.example.com"}],
+    "ases": [{"asn": 64900}],
+}
+
+
+def minimal(**overrides):
+    data = {key: value for key, value in MINIMAL.items()}
+    data.update(overrides)
+    return data
+
+
+# -- golden equivalence (satellite: legacy entrypoints are spec-backed) --------
+
+
+class TestGoldenEquivalence:
+    """Same seed, same world: wrappers vs the pre-redesign builders."""
+
+    @pytest.fixture(autouse=True)
+    def _no_warnings(self):
+        # The compatibility wrappers must be silent — no
+        # DeprecationWarning, no FutureWarning, nothing.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            yield
+
+    def test_pakistan_case_study_bit_identical(self):
+        assert case_study_fingerprint() == load_golden()["case_study"]
+
+    def test_centralized_country_bit_identical(self):
+        assert centralized_fingerprint() == load_golden()["centralized"]
+
+    def test_blocking_wave_bit_identical(self):
+        assert wave_fingerprint() == load_golden()["wave"]
+
+
+# -- spec validation -----------------------------------------------------------
+
+
+class TestSpecValidation:
+    def test_minimal_spec_loads(self):
+        spec = ScenarioSpec.from_dict(minimal())
+        assert spec.name == "minimal"
+        assert spec.resolved_mode() == "probe"
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(SpecError, match="unknown key"):
+            ScenarioSpec.from_dict(minimal(sites_typo=[]))
+
+    def test_unknown_site_key_names_the_section(self):
+        with pytest.raises(SpecError, match=r"sites\[0\]"):
+            ScenarioSpec.from_dict(
+                minimal(sites=[{"hostname": "x.example", "sizebytes": 1}])
+            )
+
+    def test_duplicate_asn_rejected(self):
+        with pytest.raises(SpecError, match="duplicate"):
+            ScenarioSpec.from_dict(minimal(ases=[{"asn": 1}, {"asn": 1}]))
+
+    def test_dangling_policy_reference_rejected(self):
+        with pytest.raises(SpecError, match="unknown policy"):
+            ScenarioSpec.from_dict(
+                minimal(ases=[{"asn": 1, "policy": "missing"}])
+            )
+
+    def test_rule_requires_mechanism_and_matcher(self):
+        with pytest.raises(SpecError, match="mechanism"):
+            ScenarioSpec.from_dict(minimal(policies=[
+                {"name": "p", "rules": [{"domains": ["x.example"]}]},
+            ]))
+        with pytest.raises(SpecError, match="matcher|criterion"):
+            ScenarioSpec.from_dict(minimal(policies=[
+                {"name": "p", "rules": [{"mechanisms": ["http-drop"]}]},
+            ]))
+
+    def test_unknown_mechanism_lists_vocabulary(self):
+        spec = ScenarioSpec.from_dict(minimal(policies=[
+            {"name": "p", "rules": [
+                {"mechanisms": ["quic-drop"], "domains": ["x.example"]},
+            ]},
+        ]))
+        with pytest.raises(SpecError, match="quic-drop.*dns-redirect"):
+            ScenarioCompiler().compile(spec)
+
+    def test_unknown_client_config_key_rejected(self):
+        with pytest.raises(SpecError, match="config"):
+            ScenarioSpec.from_dict(minimal(
+                populations=[{"per_as": 1, "config": {"not_a_knob": 1}}],
+            ))
+
+    def test_fleet_expectation_requires_cohort_mode(self):
+        with pytest.raises(SpecError, match="cohort"):
+            ScenarioSpec.from_dict(minimal(
+                expect={"fleet": {"all_converge": True}},
+            ))
+
+    def test_reputation_expectation_checks_group_names(self):
+        with pytest.raises(SpecError, match="ghost"):
+            ScenarioSpec.from_dict({
+                "name": "attack",
+                "description": "bad group ref",
+                "attack": {"groups": [
+                    {"name": "flood", "role": "flood",
+                     "clients": 2, "urls_each": 3},
+                ]},
+                "expect": {"reputation": {"flagged_groups": ["ghost"]}},
+            })
+
+    def test_with_seed_rerolls_only_the_seed(self):
+        spec = ScenarioSpec.from_dict(minimal())
+        reseeded = spec.with_seed(99)
+        assert reseeded.seed == 99
+        assert dataclasses.replace(reseeded, seed=spec.seed) == spec
+
+
+# -- TOML subset parser --------------------------------------------------------
+
+
+class TestTomlSubset:
+    @pytest.mark.parametrize(
+        "name", [name for name, _ in shipped_packs()]
+    )
+    def test_agrees_with_tomllib_on_shipped_packs(self, name):
+        tomllib = pytest.importorskip("tomllib")
+        path = dict(shipped_packs())[name]
+        with open(path, "rb") as fh:
+            reference = tomllib.load(fh)
+        with open(path, "r", encoding="utf-8") as fh:
+            ours = _parse_toml_subset(fh.read(), path)
+        assert ours == reference
+
+    def test_value_types(self, tmp_path):
+        path = tmp_path / "types.toml"
+        path.write_text(
+            'name = "x"\n'
+            "n = 42\n"
+            "big = 100_000\n"
+            "rate = 2.5e-3\n"
+            "on = true\n"
+            "off = false\n"
+            'tags = ["a", "b"]\n'
+            "nums = [1, 2,\n"
+            "        3]\n"
+            'comment = "kept # inside"  # stripped outside\n'
+        )
+        data = _parse_toml_subset(path.read_text(), str(path))
+        assert data == {
+            "name": "x", "n": 42, "big": 100000, "rate": 2.5e-3,
+            "on": True, "off": False, "tags": ["a", "b"],
+            "nums": [1, 2, 3], "comment": "kept # inside",
+        }
+
+    def test_array_of_tables_and_nested_sections(self, tmp_path):
+        text = (
+            "[[sites]]\n"
+            'hostname = "a.example"\n'
+            "[[sites]]\n"
+            'hostname = "b.example"\n'
+            "[sites.extra]\n"
+            "flag = true\n"
+            "[workload]\n"
+            "interval = 10.0\n"
+        )
+        data = _parse_toml_subset(text, "<test>")
+        assert [s["hostname"] for s in data["sites"]] == ["a.example", "b.example"]
+        # dotted [section] after [[sites]] attaches to the *last* element
+        assert data["sites"][1]["extra"] == {"flag": True}
+        assert data["workload"] == {"interval": 10.0}
+
+    def test_unparseable_line_raises(self, tmp_path):
+        with pytest.raises(SpecError, match="line 2"):
+            _parse_toml_subset('a = 1\nb = {inline = "tables"}\n', "<test>")
+
+
+# -- compiler ------------------------------------------------------------------
+
+
+class TestCompiler:
+    def test_centralized_policy_object_is_shared(self):
+        from repro.scenarios import centralized_spec
+
+        compiled = ScenarioCompiler().compile(
+            centralized_spec(seed=2, n_isps=3)
+        )
+        policies = {
+            id(isp.censor.policy) for isp in compiled.isps.values()
+        }
+        assert len(policies) == 1
+
+    def test_ips_of_resolves_to_site_addresses(self):
+        compiled = ScenarioCompiler().compile(pakistan_spec(seed=2))
+        world = compiled.world
+        rule = next(
+            r for r in compiled.policies["ISP-A"].rules
+            if r.label == "table5-tcpip"
+        )
+        site = world.network.hosts_by_name["www.blocked-tcpip.example.com"]
+        assert site.ip in rule.matcher.ips
+
+    def test_ips_of_unknown_host_errors(self):
+        spec = ScenarioSpec.from_dict(minimal(policies=[
+            {"name": "p", "rules": [
+                {"mechanisms": ["ip-drop"], "ips_of": ["ghost.example"]},
+            ]},
+        ]))
+        with pytest.raises(SpecError, match="ghost.example"):
+            ScenarioCompiler().compile(spec)
+
+    def test_rolling_events_require_a_policy(self):
+        spec = ScenarioSpec.from_dict(minimal(
+            rolling={
+                "domains": ["open.example.com"],
+                "asns": [64900],
+                "lag": 100.0,
+            },
+        ))
+        with pytest.raises(SpecError, match="policy"):
+            ScenarioCompiler().compile(spec)
+
+    def test_rolling_events_are_seed_deterministic(self):
+        def events(seed):
+            spec = ScenarioSpec.from_dict(minimal(
+                seed=seed,
+                policies=[{"name": "p"}],
+                ases=[{"asn": 64900, "policy": "p"}],
+                rolling={
+                    "domains": ["open.example.com"],
+                    "asns": [64900],
+                    "start": 50.0,
+                    "lag": 100.0,
+                    "mechanisms": ["http-drop"],
+                },
+            ))
+            return [
+                (e.time, e.asn, e.domain)
+                for e in ScenarioCompiler().compile(spec).events
+            ]
+
+        first = events(7)
+        assert events(7) == first
+        assert events(8) != first
+        assert all(50.0 <= t <= 150.0 for t, _, _ in first)
+
+    def test_geo_blocked_site_serves_server_filtering(self):
+        spec = ScenarioSpec.from_dict(minimal(
+            sites=[{"hostname": "geo.example", "geo_blocked": ["pakistan"]}],
+            expect={"verdict": [{
+                "url": "http://geo.example/",
+                "asn": 64900,
+                "status": "blocked",
+                "stages": ["server-filtering"],
+            }]},
+        ))
+        outcome = ScenarioRunner().run(spec)
+        assert outcome.report.ok, outcome.report.render()
+
+
+# -- runner --------------------------------------------------------------------
+
+
+class TestRunner:
+    def test_cohort_sharded_matches_serial(self):
+        base = load_toml_file(dict(shipped_packs())["low-penetration-country"])
+        serial_spec = ScenarioSpec.from_dict(base)
+        base["cohort"]["sharded"] = True
+        sharded_spec = ScenarioSpec.from_dict(base)
+
+        serial = ScenarioRunner().run(serial_spec).fleet
+        sharded = ScenarioRunner(workers=2).run(sharded_spec).fleet
+        assert serial.convergence_by_as == sharded.convergence_by_as
+        assert serial.reports_absorbed == sharded.reports_absorbed
+
+    def test_probe_mode_report_names_missing_probes(self):
+        spec = ScenarioSpec.from_dict(minimal(
+            expect={"verdict": [{
+                "url": "http://open.example.com/",
+                "asn": 64900,
+                "status": "not-blocked",
+            }]},
+        ))
+        outcome = ScenarioRunner().run(spec)
+        assert outcome.report.ok
+        (check,) = outcome.report.checks
+        assert check.kind == "verdict"
