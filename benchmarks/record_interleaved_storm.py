@@ -1,4 +1,4 @@
-"""Record the cross-epoch request-storm pair, interleaved.
+"""Record a cross-epoch storm pair, interleaved.
 
 This box drifts by tens of percent across minutes, so a recorded number
 from one epoch cannot be compared with one recorded later — the
@@ -10,21 +10,29 @@ take each side's minimum.
 Usage::
 
     PYTHONPATH=src python benchmarks/record_interleaved_storm.py \
-        --old-root /path/to/checkout-of-c0895d8 [--rounds 12]
+        --pair session --old-root /path/to/checkout-of-c0895d8
+    PYTHONPATH=src python benchmarks/record_interleaved_storm.py \
+        --pair fleet --old-root /path/to/checkout-of-712ecdb
 
-Both sides run *this repo's* workload definitions (the old checkout's
-bench harness predates the session storm; the workload only touches
-modules that exist unchanged there, and sharing one definition keeps the
-timed shape identical): ``session_request_storm`` against the old
-checkout's ``src``, then ``session_request_storm_notrace`` and
-``session_request_storm`` against the current tree.  Results merge into
-BENCH_engine.json:
+Both sides run *this repo's* workload definitions (the old checkouts'
+bench harnesses predate the workloads; each workload only touches
+modules whose call surface exists unchanged there, and sharing one
+definition keeps the timed shape identical).  Pairs:
 
-- ``before-session-r2``: the re-measured pre-tracing storm;
-- the current label's (default ``after-fleet``) two storm numbers are
-  overwritten with the interleaved minima and its speedup maps
-  recomputed, so ``bench_engine_performance.py``'s ``TraceMode.OFF``
-  guard compares numbers from the same interleaved session.
+- ``session``: ``session_request_storm`` against the pre-tracing
+  checkout, then ``session_request_storm_notrace`` + the full storm
+  against the current tree.  Writes ``before-session-r2`` and patches
+  the current label's (default ``after-fleet``) storm numbers, so
+  ``bench_engine_performance.py``'s ``TraceMode.OFF`` guard compares
+  numbers from one interleaved session.
+- ``fleet``: ``fleet_report_storm`` against the pre-grouped-sweep
+  checkout (whose fleet code *is* the ``after-fleet`` epoch), then the
+  grouped 100k storm + the ``fleet_report_storm_1m`` million-client
+  storm against the current tree.  Patches ``after-fleet``'s storm
+  number and records both under ``after-fleet-1m``.
+
+Either way the patched label's ``speedup_vs_*`` maps are recomputed so
+the recorded cross-epoch ratios come from the same interleaved session.
 """
 
 from __future__ import annotations
@@ -40,6 +48,34 @@ import time
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUT = ROOT / "BENCH_engine.json"
 
+#: The cross-epoch pairs this recorder knows how to interleave.  Each
+#: side is (name, which-src, workload): ``old`` runs against the
+#: ``--old-root`` checkout's ``src``, ``new`` against this tree's.
+PAIRS = {
+    "session": {
+        "old_commit": "c0895d8",
+        "label_old": "before-session-r2",
+        "label_new": "after-fleet",
+        "rounds": 12,
+        "sides": [
+            ("old", "old", "session_request_storm"),
+            ("notrace", "new", "session_request_storm_notrace"),
+            ("full", "new", "session_request_storm"),
+        ],
+    },
+    "fleet": {
+        "old_commit": "712ecdb",
+        "label_old": "after-fleet",
+        "label_new": "after-fleet-1m",
+        "rounds": 8,
+        "sides": [
+            ("old", "old", "fleet_report_storm"),
+            ("new", "new", "fleet_report_storm"),
+            ("new1m", "new", "fleet_report_storm_1m"),
+        ],
+    },
+}
+
 #: run inside a fresh subprocess per measurement: argv = src dir,
 #: workload, inner best-of rounds.  Always loads this repo's bench
 #: module so both epochs time the exact same workload definition.
@@ -49,6 +85,7 @@ src, workload, rounds = sys.argv[1], sys.argv[2], int(sys.argv[3])
 sys.path.insert(0, src)
 sys.path.insert(0, %r)
 import record_engine_bench as bench
+rounds = min(rounds, bench.ROUNDS_OVERRIDE.get(workload, rounds))
 print(bench.best_of(bench.WORKLOADS[workload], rounds))
 """ % str(ROOT / "benchmarks")
 
@@ -63,26 +100,90 @@ def measure(src: str, workload: str, inner_rounds: int) -> float:
     return float(out.stdout.strip().splitlines()[-1])
 
 
+def recompute_speedups(history: dict, label: str) -> None:
+    """Refresh ``label``'s ``speedup_vs_*`` maps from patched seconds."""
+    entry = history[label]
+    for key in [k for k in entry if k.startswith("speedup_vs_")]:
+        # record_engine_bench writes "speedup_vs_seed" for seed-baseline.
+        base_label = (
+            "seed-baseline" if key == "speedup_vs_seed"
+            else key[len("speedup_vs_"):].replace("_", "-")
+        )
+        baseline = history.get(base_label, {}).get("seconds", {})
+        entry[key] = {
+            name: round(baseline[name] / seconds, 2)
+            for name, seconds in entry["seconds"].items()
+            if name in baseline
+        }
+
+
+def write_session(history: dict, best: dict, args, stamp: str) -> None:
+    history[args.label_old] = {
+        "seconds": {"session_request_storm": best["old"]},
+        "python": platform.python_version(),
+        "recorded_at": stamp,
+        "note": (
+            "pre-tracing storm re-measured interleaved with "
+            f"{args.label_new}'s storms ({args.rounds} alternating rounds)"
+        ),
+    }
+    new = history.setdefault(args.label_new, {"seconds": {}})
+    new["seconds"]["session_request_storm_notrace"] = best["notrace"]
+    new["seconds"]["session_request_storm"] = best["full"]
+    new["storms_recorded_at"] = stamp
+    recompute_speedups(history, args.label_new)
+    ratio = best["notrace"] / best["old"]
+    new["notrace_vs_pretracing"] = round(ratio, 3)
+    print(f"\nTraceMode.OFF vs pre-tracing: {ratio:.3f}x (budget < 1.05)")
+    print(f"full tracing vs pre-tracing:  {best['full'] / best['old']:.3f}x")
+
+
+def write_fleet(history: dict, best: dict, args, stamp: str) -> None:
+    # The old checkout's fleet code is the after-fleet epoch: patching
+    # that label's storm number re-measures the same code interleaved.
+    old = history.setdefault(args.label_old, {"seconds": {}})
+    old["seconds"]["fleet_report_storm"] = best["old"]
+    old["storms_recorded_at"] = stamp
+    new = history.setdefault(args.label_new, {"seconds": {}})
+    new["seconds"]["fleet_report_storm"] = best["new"]
+    new["seconds"]["fleet_report_storm_1m"] = best["new1m"]
+    new["storms_recorded_at"] = stamp
+    for label in (args.label_old, args.label_new):
+        recompute_speedups(history, label)
+    speedup = best["old"] / best["new"]
+    # 10x the clients should cost ~10x the wall; record the overshoot.
+    scale_cost = best["new1m"] / (10.0 * best["new"])
+    new["storm_1m_vs_10x_100k"] = round(scale_cost, 3)
+    print(f"\ngrouped sweep vs {args.label_old} storm: {speedup:.2f}x "
+          "(guard >= 3x)")
+    print(f"1M storm: {best['new1m']:.2f}s = {scale_cost:.2f}x the cost "
+          "of 10x the 100k storm")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pair", choices=sorted(PAIRS), default="session")
     parser.add_argument(
         "--old-root", required=True,
-        help="checkout of the pre-session-refactor commit (c0895d8)",
+        help="checkout of the pair's pre-optimization commit",
     )
-    parser.add_argument("--rounds", type=int, default=12,
+    parser.add_argument("--rounds", type=int, default=None,
                         help="alternating subprocess rounds per side")
     parser.add_argument("--inner-rounds", type=int, default=5,
                         help="in-process best-of rounds per subprocess")
-    parser.add_argument("--label-old", default="before-session-r2")
-    parser.add_argument("--label-new", default="after-fleet")
+    parser.add_argument("--label-old", default=None)
+    parser.add_argument("--label-new", default=None)
     args = parser.parse_args()
 
-    sides = [
-        ("old", str(pathlib.Path(args.old_root) / "src"),
-         "session_request_storm"),
-        ("notrace", str(ROOT / "src"), "session_request_storm_notrace"),
-        ("full", str(ROOT / "src"), "session_request_storm"),
-    ]
+    pair = PAIRS[args.pair]
+    args.rounds = args.rounds if args.rounds is not None else pair["rounds"]
+    args.label_old = args.label_old or pair["label_old"]
+    args.label_new = args.label_new or pair["label_new"]
+    roots = {"old": str(pathlib.Path(args.old_root) / "src"),
+             "new": str(ROOT / "src")}
+    sides = [(name, roots[which], workload)
+             for name, which, workload in pair["sides"]]
+
     best = {name: float("inf") for name, _, _ in sides}
     for i in range(args.rounds):
         # Rotate the order each round so neither side systematically
@@ -98,33 +199,9 @@ def main() -> None:
 
     history = json.loads(OUT.read_text()) if OUT.exists() else {}
     stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
-    history[args.label_old] = {
-        "seconds": {"session_request_storm": best["old"]},
-        "python": platform.python_version(),
-        "recorded_at": stamp,
-        "note": (
-            "pre-tracing storm re-measured interleaved with "
-            f"{args.label_new}'s storms ({args.rounds} alternating rounds)"
-        ),
-    }
-    new = history.setdefault(args.label_new, {"seconds": {}})
-    new["seconds"]["session_request_storm_notrace"] = best["notrace"]
-    new["seconds"]["session_request_storm"] = best["full"]
-    new["storms_recorded_at"] = stamp
-    # Recompute this label's speedup maps with the patched numbers.
-    for key in [k for k in new if k.startswith("speedup_vs_")]:
-        base_label = key[len("speedup_vs_"):].replace("_", "-")
-        baseline = history.get(base_label, {}).get("seconds", {})
-        new[key] = {
-            name: round(baseline[name] / seconds, 2)
-            for name, seconds in new["seconds"].items()
-            if name in baseline
-        }
-    ratio = best["notrace"] / best["old"]
-    new["notrace_vs_pretracing"] = round(ratio, 3)
+    writer = write_session if args.pair == "session" else write_fleet
+    writer(history, best, args, stamp)
     OUT.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
-    print(f"\nTraceMode.OFF vs pre-tracing: {ratio:.3f}x (budget < 1.05)")
-    print(f"full tracing vs pre-tracing:  {best['full'] / best['old']:.3f}x")
     print(f"wrote {OUT}")
 
 

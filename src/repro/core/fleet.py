@@ -30,6 +30,17 @@ client at that version, then applied into the record arrays in one
 pass.  Reports go through the ordinary ``post_update`` path, so the
 voting ledger and shard change logs see real traffic.
 
+Sweeps are *group-applied* (DESIGN.md §11): clients are stored in pull
+order (offsets sorted at construction), so the clients due in a sweep
+are one contiguous cyclic rank range, and every client in a run of
+equal since-versions receives the same batch, the same row/byte
+increments, and the same resulting version.  The sweep therefore costs
+O(distinct since-versions) batch/metric work plus O(clients due) array
+bookkeeping via slice assignment — never a per-client dict/property
+dance.  The original per-client loop is retained as the executable
+spec (``sweep_mode="spec"``) and a hypothesis property class proves
+the grouped path bit-identical across random wave/pull schedules.
+
 Process fan-out: :func:`run_fleet_storm_sharded` partitions the AS
 space across worker processes with :mod:`repro.runner` — shards are
 independent by construction, so each worker simulates its slice of the
@@ -46,7 +57,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..runner import TrialSpec, derive_seed, merge_values, run_trials
 from ..simnet.engine import Environment
-from .globaldb import ReportItem, ServerDB
+from .globaldb import SYNC_HEADER_BYTES, ReportItem, ServerDB
 from .records import BlockType
 
 __all__ = [
@@ -66,7 +77,7 @@ class CohortAs:
 
     __slots__ = (
         "asn", "n", "rng", "versions", "next_pull_at", "pull_order", "pull_ptr",
-        "bytes_received", "rows_received", "pulls", "wave_urls",
+        "bytes_received", "rows_received", "pulls", "wave_urls", "wave_items",
         "reporter_ix", "reporter_uuids", "report_at", "report_order",
         "report_ptr", "pending", "target_version", "wave_started_at",
         "converged_at", "unconverged",
@@ -78,19 +89,24 @@ class CohortAs:
         self.n = n
         self.rng = rng
         self.versions = array("q", [-1]) * n  # -1 = never synced
-        # Staggered periodic pulls: offsets are fixed per client, so the
-        # due order is cyclic and a sorted index + pointer services each
-        # tick in O(clients due), never O(population).
+        # Staggered periodic pulls: offsets are fixed per client and
+        # stored *rank-sorted*, so client index == service rank, the due
+        # order is cyclic, and each sweep touches one contiguous rank
+        # range — O(clients due), never O(population), and amenable to
+        # slice assignment.  Clients are exchangeable aside from the
+        # independently-sampled reporter subset, so sorting the offsets
+        # relabels clients without changing any aggregate outcome.
         self.next_pull_at = array(
-            "d", (rng.uniform(0.0, pull_interval) for _ in range(n))
+            "d", sorted(rng.uniform(0.0, pull_interval) for _ in range(n))
         )
-        self.pull_order = sorted(range(n), key=self.next_pull_at.__getitem__)
+        self.pull_order = range(n)
         self.pull_ptr = 0
         self.bytes_received = array("q", [0]) * n
         self.rows_received = array("q", [0]) * n
         self.pulls = 0
         # Blocking-wave state (filled by start_wave / reporter posts).
         self.wave_urls: List[str] = []
+        self.wave_items: List[ReportItem] = []
         self.reporter_ix = array("l")
         self.reporter_uuids: List[str] = []
         self.report_at = array("d")
@@ -119,6 +135,7 @@ class FleetMetrics:
     sync_bytes: int = 0
     server_entries: int = 0
     convergence_by_as: Dict[int, float] = field(default_factory=dict)
+    pending_by_as: Dict[int, int] = field(default_factory=dict)
 
     @property
     def report_window(self) -> float:
@@ -138,6 +155,12 @@ class FleetMetrics:
         return self.sync_rows / self.n_clients if self.n_clients else 0.0
 
     @property
+    def pending_at_horizon(self) -> int:
+        """Wave URLs still unposted when the run ended, over all ASes —
+        nonzero means the horizon cut off reporters mid-detection."""
+        return sum(self.pending_by_as.values())
+
+    @property
     def mean_convergence(self) -> float:
         values = [v for v in self.convergence_by_as.values() if v >= 0.0]
         return sum(values) / len(values) if values else float("nan")
@@ -148,7 +171,19 @@ class FleetMetrics:
         return max(values) if values else float("nan")
 
     def merge(self, other: "FleetMetrics") -> "FleetMetrics":
-        """Fold another partition's metrics in (AS sets must be disjoint)."""
+        """Fold another partition's metrics in (AS sets must be disjoint).
+
+        Partitions of a sharded storm never share an AS; an overlap
+        means the caller merged the same slice twice, and silently
+        letting ``dict.update`` clobber would undercount the fleet —
+        so it raises instead.
+        """
+        overlap = self.convergence_by_as.keys() & other.convergence_by_as.keys()
+        if overlap:
+            raise ValueError(
+                "overlapping AS partitions in FleetMetrics.merge: "
+                f"{sorted(overlap)}"
+            )
         self.n_clients += other.n_clients
         self.n_ases += other.n_ases
         self.n_reporters += other.n_reporters
@@ -171,6 +206,7 @@ class FleetMetrics:
         self.sync_bytes += other.sync_bytes
         self.server_entries += other.server_entries
         self.convergence_by_as.update(other.convergence_by_as)
+        self.pending_by_as.update(other.pending_by_as)
         return self
 
     def summary(self) -> Dict[str, float]:
@@ -188,6 +224,7 @@ class FleetMetrics:
             "rows_per_client": self.rows_per_client,
             "mean_convergence_sim_s": self.mean_convergence,
             "max_convergence_sim_s": self.max_convergence,
+            "pending_at_horizon": self.pending_at_horizon,
             "server_entries": self.server_entries,
         }
 
@@ -204,6 +241,7 @@ class ClientCohort:
         reporter_fraction: float = 0.01,
         pull_interval: float = 600.0,
         tick: Optional[float] = None,
+        sweep_mode: str = "grouped",
     ):
         if clients_per_as < 1:
             raise ValueError("clients_per_as must be >= 1")
@@ -211,6 +249,14 @@ class ClientCohort:
             raise ValueError(
                 f"reporter_fraction must be in (0,1]: {reporter_fraction!r}"
             )
+        if sweep_mode not in ("grouped", "spec"):
+            raise ValueError(f"unknown sweep_mode: {sweep_mode!r}")
+        self.sweep_mode = sweep_mode
+        self._service_pulls = (
+            self._service_pulls_grouped
+            if sweep_mode == "grouped"
+            else self._service_pulls_spec
+        )
         self.server = server
         self.pull_interval = pull_interval
         # Service granularity: how often each AS's population is swept
@@ -251,12 +297,27 @@ class ClientCohort:
         uniform ``detection_delay`` window and posts its measurements
         through the ordinary report path (registering a real UUID with
         the server, so voting and reputation see the traffic).
+
+        The uploaded :class:`ReportItem` list is identical for every
+        reporter of an AS, so it is built once per shard per wave (with
+        the wave onset as the measurement time ``T_m``; each reporter's
+        individual detection time still shows as its post time ``T_p``)
+        instead of being rebuilt per reporter in the service loop.
         """
         for st in self.shards:
             rng = st.rng
             st.wave_urls = [
                 f"http://wave-as{st.asn}-{k}.example.com/"
                 for k in range(urls_per_as)
+            ]
+            st.wave_items = [
+                ReportItem(
+                    url=url,
+                    asn=st.asn,
+                    stages=WAVE_STAGES,
+                    measured_at=now,
+                )
+                for url in st.wave_urls
             ]
             st.wave_started_at = now
             n_reporters = max(1, round(st.n * self.reporter_fraction))
@@ -286,20 +347,11 @@ class ClientCohort:
     def _post_due_reports(self, st: CohortAs, now: float) -> None:
         server = self.server
         order = st.report_order
+        items = st.wave_items  # one shared list per shard per wave
         while st.report_ptr < len(order):
             r = order[st.report_ptr]
-            when = st.report_at[r]
-            if when > now:
+            if st.report_at[r] > now:
                 break
-            items = [
-                ReportItem(
-                    url=url,
-                    asn=st.asn,
-                    stages=WAVE_STAGES,
-                    measured_at=when,
-                )
-                for url in st.wave_urls
-            ]
             accepted = server.post_update(st.reporter_uuids[r], items, now)
             st.pending[r] = 0
             self.metrics.reports_absorbed += accepted
@@ -312,12 +364,19 @@ class ClientCohort:
             # population must reach to be considered converged.
             st.target_version = server.version_for_as(st.asn)
 
-    def _service_pulls(self, st: CohortAs, now: float) -> None:
-        """Serve every client whose periodic pull came due.
+    def _service_pulls_spec(self, st: CohortAs, now: float) -> None:
+        """Serve every client whose periodic pull came due, one at a time.
 
         Clients due in the same sweep that share a since-version also
         share one server-built :class:`SyncBatch` — the columnar format
         makes the share free (immutable parallel tuples).
+
+        This per-client loop is the *executable spec* for the grouped
+        sweep below: hypothesis property tests drive both through random
+        wave/pull schedules and demand bit-identical metrics and
+        per-client arrays.  It intentionally keeps the O(population)
+        shape (per-client batch lookups, wire-size property calls) the
+        fleet layer shipped with before hot-path round 4.
         """
         server, metrics = self.server, self.metrics
         order, next_pull = st.pull_order, st.next_pull_at
@@ -346,7 +405,7 @@ class ClientCohort:
                 metrics.sync_rows += rows
                 metrics.sync_bytes += batch.wire_bytes
             else:
-                metrics.sync_bytes += 24  # empty-delta header
+                metrics.sync_bytes += SYNC_HEADER_BYTES  # empty delta
             next_pull[i] += self.pull_interval
             st.pulls += 1
             metrics.pulls_served += 1
@@ -360,6 +419,108 @@ class ClientCohort:
                 st.unconverged -= 1
                 if st.unconverged == 0 and st.wave_started_at is not None:
                     st.converged_at = now
+
+    def _service_pulls_grouped(self, st: CohortAs, now: float) -> None:
+        """Group-applied sweep: the spec above in O(distinct versions).
+
+        Because offsets are rank-sorted, the clients due this sweep are
+        one contiguous cyclic rank range starting at ``pull_ptr``.
+        Every client in a run of equal since-versions receives the same
+        batch, the same row/byte increments, and the same resulting
+        version — so each run is applied with slice assignment and one
+        counted aggregate increment per metric, and server-side work
+        (batch build, wire-size accounting, convergence comparison)
+        happens once per run instead of once per client.  Batches are
+        still deduplicated per distinct since-version across the whole
+        sweep, so ``batches_built`` matches the spec exactly even if a
+        wrap-around splits a version run in two.
+        """
+        next_pull = st.next_pull_at
+        n = st.n
+        ptr = st.pull_ptr
+        start = ptr % n
+        # Phase 1 — bookkeeping scan: count consecutive due ranks.
+        served = 0
+        r = start
+        while served < n:
+            if next_pull[r] > now:
+                break
+            served += 1
+            r += 1
+            if r == n:
+                r = 0
+        if not served:
+            return
+        server, metrics = self.server, self.metrics
+        versions = st.versions
+        interval = self.pull_interval
+        target = st.target_version
+        asn = st.asn
+        batch_cache: Dict[int, object] = {}
+        # Phase 2 — per (since-version → group) application over the due
+        # range, split at the cyclic wrap.
+        end = start + served
+        segments = (
+            ((start, end),) if end <= n else ((start, n), (0, end - n))
+        )
+        for seg_lo, seg_hi in segments:
+            lo = seg_lo
+            while lo < seg_hi:
+                since = versions[lo]
+                hi = lo + 1
+                while hi < seg_hi and versions[hi] == since:
+                    hi += 1
+                batch = batch_cache.get(since)
+                if batch is None:
+                    batch = server.sync_batch_for_as(
+                        asn, now,
+                        since_version=None if since < 0 else since,
+                    )
+                    batch_cache[since] = batch
+                    metrics.batches_built += 1
+                count = hi - lo
+                version = batch.version
+                rows = batch.transferred
+                if count == 1:
+                    versions[lo] = version
+                    next_pull[lo] += interval
+                    if rows:
+                        wire = batch.wire_bytes
+                        st.rows_received[lo] += rows
+                        st.bytes_received[lo] += wire
+                        metrics.sync_rows += rows
+                        metrics.sync_bytes += wire
+                    else:
+                        metrics.sync_bytes += SYNC_HEADER_BYTES
+                else:
+                    versions[lo:hi] = array("q", [version]) * count
+                    next_pull[lo:hi] = array(
+                        "d", [x + interval for x in next_pull[lo:hi]]
+                    )
+                    if rows:
+                        wire = batch.wire_bytes
+                        st.rows_received[lo:hi] = array(
+                            "q", [x + rows for x in st.rows_received[lo:hi]]
+                        )
+                        st.bytes_received[lo:hi] = array(
+                            "q", [x + wire for x in st.bytes_received[lo:hi]]
+                        )
+                        metrics.sync_rows += rows * count
+                        metrics.sync_bytes += wire * count
+                    else:
+                        metrics.sync_bytes += SYNC_HEADER_BYTES * count
+                if (
+                    target is not None
+                    and st.unconverged
+                    and since < target <= version
+                ):
+                    st.unconverged -= count
+                    if st.unconverged == 0 and st.wave_started_at is not None:
+                        st.converged_at = now
+                lo = hi
+        st.pulls += served
+        metrics.pulls_served += served
+        st.pull_ptr = ptr + served
 
     def service(self, now: float) -> None:
         """One sweep over every AS: due reports, then due pulls."""
@@ -388,6 +549,7 @@ class ClientCohort:
                 )
             else:
                 metrics.convergence_by_as[st.asn] = -1.0  # did not converge
+            metrics.pending_by_as[st.asn] = sum(st.pending)
         metrics.server_entries = self.server.entry_count
         return metrics
 
@@ -405,6 +567,7 @@ def run_fleet_storm(
     wave_at: float = 300.0,
     horizon: Optional[float] = None,
     asn_base: int = 40000,
+    sweep_mode: str = "grouped",
 ) -> FleetMetrics:
     """One fleet storm: steady pulls, a blocking wave, convergence.
 
@@ -422,6 +585,7 @@ def run_fleet_storm(
         seed=seed,
         reporter_fraction=reporter_fraction,
         pull_interval=pull_interval,
+        sweep_mode=sweep_mode,
     )
 
     def driver():

@@ -40,7 +40,14 @@ __all__ = [
     "ServerDB",
     "SyncResult",
     "SyncBatch",
+    "SYNC_HEADER_BYTES",
 ]
+
+#: Fixed per-pull wire overhead in the sync cost model: asn, version,
+#: and flags.  An empty delta transfers exactly this many bytes — the
+#: fleet layer charges the same constant for its empty pulls, so the
+#: two accountings cannot drift.
+SYNC_HEADER_BYTES = 24
 
 
 class RegistrationError(Exception):
@@ -98,7 +105,7 @@ class SyncResult:
     @property
     def wire_bytes(self) -> int:
         """Estimated bytes on the wire (same cost model as SyncBatch)."""
-        total = 24  # header: asn, version, flags
+        total = SYNC_HEADER_BYTES
         for entry in self.entries:
             total += (
                 len(entry.url) + 1 + 24  # three packed floats
@@ -142,7 +149,7 @@ class SyncBatch:
     def wire_bytes(self) -> int:
         """Estimated bytes on the wire: url/uuid strings plus packed
         numeric columns (8 bytes per float, 2 per stage code)."""
-        total = 24  # header: asn, version, flags
+        total = SYNC_HEADER_BYTES
         total += sum(len(url) + 1 for url in self.urls)
         total += sum(len(uuid) for uuid in self.reporter_uuids)
         total += (3 * 8 + 2) * len(self.urls)
@@ -187,7 +194,7 @@ class _AsShard:
     no longer matches.
     """
 
-    __slots__ = ("entries", "version", "floor", "log", "expiry")
+    __slots__ = ("entries", "version", "floor", "log", "expiry", "batch_cache")
 
     def __init__(self) -> None:
         self.entries: Dict[str, GlobalEntry] = {}
@@ -195,9 +202,17 @@ class _AsShard:
         self.floor = 0
         self.log: Deque[Tuple[int, str]] = deque()
         self.expiry: List[Tuple[float, str]] = []
+        # Built SyncBatches keyed by (since_version, min_reporters,
+        # min_votes), valid for the *current* shard version only: every
+        # mutation funnels through mark_changed, which clears it.  A
+        # fleet sweeping thousands of clients between server changes
+        # pays batch construction once per distinct since-version.
+        self.batch_cache: Dict[Tuple[Optional[int], int, float], "SyncBatch"] = {}
 
     def mark_changed(self, url: str) -> None:
         self.version += 1
+        if self.batch_cache:
+            self.batch_cache.clear()
         self.log.append((self.version, url))
         limit = max(256, 4 * len(self.entries))
         while len(self.log) > limit:
@@ -468,10 +483,15 @@ class ServerDB:
         """:meth:`sync_for_as` in the columnar wire format.
 
         Serves the same full/delta decision and the same rows, but as
-        parallel per-field tuples built in one pass over the shard —
-        no intermediate per-row objects.  ``sync_for_as`` remains the
-        executable spec; the property tests assert both paths yield
-        bit-identical client state.
+        parallel per-field tuples built in columnar passes over the
+        shard — no intermediate per-row objects.  ``sync_for_as``
+        remains the executable spec; the property tests assert both
+        paths yield bit-identical client state.
+
+        Built batches are cached on the shard keyed by ``(since,
+        criterion)`` and invalidated by any shard change, so serving a
+        whole cohort between changes constructs each distinct batch
+        once (the serve counters still count every pull).
         """
         shard = self._shards.get(asn)
         if shard is None:
@@ -483,66 +503,76 @@ class ServerDB:
             or since_version < shard.floor
             or since_version > shard.version
         )
-        check_votes = min_reporters > 1 or min_votes > 0.0
-        stats = self.voting.stats
-        urls: List[str] = []
-        codes: List[int] = []
-        measured: List[float] = []
-        posted: List[float] = []
-        first: List[float] = []
-        uuids: List[str] = []
         if stale:
             self.full_syncs_served += 1
-            for url, entry in shard.entries.items():
-                if check_votes and not stats(url, asn).passes(
+            key = (None, min_reporters, min_votes)
+        else:
+            self.delta_syncs_served += 1
+            if since_version == shard.version:
+                return SyncBatch(asn=asn, version=shard.version, full=False)
+            key = (since_version, min_reporters, min_votes)
+        cache = shard.batch_cache
+        batch = cache.get(key)
+        if batch is None:
+            batch = self._build_batch(shard, asn, *key)
+            if len(cache) >= 128:  # bound stragglers between changes
+                cache.clear()
+            cache[key] = batch
+        return batch
+
+    def _build_batch(
+        self,
+        shard: _AsShard,
+        asn: int,
+        since_version: Optional[int],
+        min_reporters: int,
+        min_votes: float,
+    ) -> SyncBatch:
+        """Construct one columnar batch (cache-miss path).
+
+        ``since_version`` is ``None`` for a full snapshot; otherwise a
+        delta strictly between the shard's floor and current version.
+        Columns are built by per-field passes over the selected rows —
+        C-speed comprehensions instead of six appends per row.
+        """
+        stats = self.voting.stats
+        check_votes = min_reporters > 1 or min_votes > 0.0
+        entries = shard.entries
+        removed: List[str] = []
+        if since_version is None:
+            if check_votes:
+                rows = [
+                    entry
+                    for url, entry in entries.items()
+                    if stats(url, asn).passes(min_reporters, min_votes)
+                ]
+                urls = tuple(entry.url for entry in rows)
+            else:
+                rows = list(entries.values())
+                urls = tuple(entries)
+        else:
+            rows = []
+            for url in shard.touched_since(since_version):
+                entry = entries.get(url)
+                if entry is not None and stats(url, asn).passes(
                     min_reporters, min_votes
                 ):
-                    continue
-                urls.append(url)
-                codes.append(encode_stages(entry.stages))
-                measured.append(entry.measured_at)
-                posted.append(entry.posted_at)
-                first.append(entry.first_measured_at)
-                uuids.append(entry.last_uuid)
-            return SyncBatch(
-                asn=asn,
-                version=shard.version,
-                full=True,
-                urls=tuple(urls),
-                stage_codes=tuple(codes),
-                measured_at=tuple(measured),
-                posted_at=tuple(posted),
-                first_measured_at=tuple(first),
-                reporter_uuids=tuple(uuids),
-            )
-        self.delta_syncs_served += 1
-        if since_version == shard.version:
-            return SyncBatch(asn=asn, version=shard.version, full=False)
-        removed: List[str] = []
-        entries = shard.entries
-        for url in shard.touched_since(since_version):
-            entry = entries.get(url)
-            if entry is not None and stats(url, asn).passes(
-                min_reporters, min_votes
-            ):
-                urls.append(url)
-                codes.append(encode_stages(entry.stages))
-                measured.append(entry.measured_at)
-                posted.append(entry.posted_at)
-                first.append(entry.first_measured_at)
-                uuids.append(entry.last_uuid)
-            else:
-                removed.append(url)
+                    rows.append(entry)
+                else:
+                    removed.append(url)
+            urls = tuple(entry.url for entry in rows)
         return SyncBatch(
             asn=asn,
             version=shard.version,
-            full=False,
-            urls=tuple(urls),
-            stage_codes=tuple(codes),
-            measured_at=tuple(measured),
-            posted_at=tuple(posted),
-            first_measured_at=tuple(first),
-            reporter_uuids=tuple(uuids),
+            full=since_version is None,
+            urls=urls,
+            stage_codes=tuple(encode_stages(entry.stages) for entry in rows),
+            measured_at=tuple(entry.measured_at for entry in rows),
+            posted_at=tuple(entry.posted_at for entry in rows),
+            first_measured_at=tuple(
+                entry.first_measured_at for entry in rows
+            ),
+            reporter_uuids=tuple(entry.last_uuid for entry in rows),
             removed=tuple(removed),
         )
 

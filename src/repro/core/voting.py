@@ -113,6 +113,28 @@ class VotingLedger:
         old_keys = self._by_client.get(client_id, set())
         if new_keys == old_keys:
             return set()
+        if not old_keys:
+            # First vouch set for this client (the server-side hot path:
+            # every cohort reporter lands here once per wave).  No old
+            # votes to retract or re-bucket — one pass seeds ownership
+            # and the d-histograms, with the same bucket contents the
+            # general path below would produce.
+            d_new = len(new_keys)
+            by_key = self._by_key
+            hists = self._vote_hist
+            for key in new_keys:
+                owners = by_key.get(key)
+                if owners is None:
+                    by_key[key] = {client_id}
+                else:
+                    owners.add(client_id)
+                hist = hists.get(key)
+                if hist is None:
+                    hists[key] = {d_new: 1}
+                else:
+                    hist[d_new] = hist.get(d_new, 0) + 1
+            self._by_client[client_id] = new_keys
+            return set(new_keys)
         d_old = len(old_keys)
         d_new = len(new_keys)
         by_key = self._by_key

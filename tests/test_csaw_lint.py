@@ -224,6 +224,31 @@ class TestCSL003UnorderedIteration:
         assert codes(src, path=fleet, config=config) == []
         assert codes(src, path=other, config=config) == ["CSL003"]
 
+    def test_grouped_sweep_grouping_dicts_clean_everywhere(self):
+        """Hot-path round 4's grouped sweep keys per-sweep groups and
+        batch caches on plain dicts (insertion-ordered), not sets —
+        the grouping shape must be CSL003-clean *without* relying on
+        the ``core/fleet.py`` allowlist entry, so the fast path stays
+        portable to unexempted modules."""
+        config = load_config(str(REPO / "pyproject.toml"), str(REPO))
+        src = """
+        def sweep(due, versions, build):
+            groups = {}
+            for i in due:
+                members = groups.get(versions[i])
+                if members is None:
+                    groups[versions[i]] = [i]
+                else:
+                    members.append(i)
+            built = {}
+            for since, members in groups.items():
+                if since not in built:
+                    built[since] = build(since)
+            return built
+        """
+        other = str(REPO / "src" / "repro" / "core" / "localdb.py")
+        assert codes(src, path=other, config=config) == []
+
 
 class TestCSL004RealIo:
     def test_trigger_socket_import_in_simnet(self):

@@ -67,6 +67,36 @@ class TestFleetStorm:
         assert metrics.bytes_per_client > 0
         assert metrics.rows_per_client >= 5  # the wave, at least once
 
+    def test_pending_zero_when_every_reporter_posted(self):
+        metrics = small_storm()
+        # All reporters detected within the horizon: nothing left unposted.
+        assert metrics.pending_at_horizon == 0
+        assert set(metrics.pending_by_as.values()) == {0}
+        assert metrics.summary()["pending_at_horizon"] == 0
+
+    def test_pending_surfaces_cut_off_reporters(self):
+        # Horizon ends right after the wave: most detection delays have
+        # not elapsed, so most reporters' wave URLs are still pending —
+        # and pending + absorbed must account for every wave URL.
+        metrics = small_storm(wave_at=300.0, horizon=301.0)
+        assert metrics.pending_at_horizon > 0
+        assert (
+            metrics.pending_at_horizon + metrics.reports_absorbed
+            == metrics.n_reporters * 5
+        )
+        assert any(v > 0 for v in metrics.pending_by_as.values())
+
+    def test_sweep_modes_agree_and_validate(self):
+        grouped = small_storm()
+        spec = small_storm(sweep_mode="spec")
+        assert grouped.summary() == spec.summary()
+        assert grouped.convergence_by_as == spec.convergence_by_as
+        with pytest.raises(ValueError):
+            ClientCohort(
+                ServerDB(entry_ttl=None), asns=[1], clients_per_as=5,
+                seed=0, sweep_mode="bogus",
+            )
+
     def test_no_wave_no_convergence_entry(self):
         server = ServerDB(entry_ttl=None)
         env = Environment()
@@ -131,6 +161,50 @@ class TestFleetMetrics:
         # Unconverged ASes are excluded from the aggregates.
         assert merged.mean_convergence == pytest.approx(15.0)
         assert merged.max_convergence == pytest.approx(20.0)
+
+    def test_merge_empty_partition_is_identity(self):
+        a = FleetMetrics(
+            n_clients=10, n_ases=1, reports_absorbed=3,
+            first_report_at=12.0, last_report_at=17.0,
+            pulls_served=20, sync_rows=30, sync_bytes=400,
+            convergence_by_as={1: 10.0}, pending_by_as={1: 0},
+        )
+        before = dict(a.summary())
+        merged = a.merge(FleetMetrics())
+        assert merged.summary() == before
+        assert merged.convergence_by_as == {1: 10.0}
+        # And folding into an empty accumulator adopts the partition.
+        fresh = FleetMetrics().merge(
+            FleetMetrics(n_clients=5, convergence_by_as={2: 4.0})
+        )
+        assert fresh.n_clients == 5
+        assert fresh.convergence_by_as == {2: 4.0}
+
+    def test_merge_partitions_without_reports(self):
+        # Neither side absorbed a report: endpoints stay None and the
+        # window is empty rather than raising on None arithmetic.
+        a = FleetMetrics(n_clients=4, convergence_by_as={1: -1.0})
+        b = FleetMetrics(n_clients=6, convergence_by_as={2: -1.0})
+        merged = a.merge(b)
+        assert merged.first_report_at is None
+        assert merged.last_report_at is None
+        assert merged.report_window == 0.0
+        # One-sided reports adopt the reporting partition's endpoints.
+        c = FleetMetrics(
+            n_clients=1, first_report_at=3.0, last_report_at=9.0,
+            convergence_by_as={3: 5.0},
+        )
+        merged = merged.merge(c)
+        assert (merged.first_report_at, merged.last_report_at) == (3.0, 9.0)
+
+    def test_merge_rejects_overlapping_as_partitions(self):
+        a = FleetMetrics(n_clients=10, convergence_by_as={1: 10.0, 2: 3.0})
+        b = FleetMetrics(n_clients=10, convergence_by_as={2: 20.0, 3: 1.0})
+        with pytest.raises(ValueError, match=r"overlapping AS.*\[2\]"):
+            a.merge(b)
+        # The failed merge must not have half-applied: counters untouched.
+        assert a.n_clients == 10
+        assert a.convergence_by_as == {1: 10.0, 2: 3.0}
 
     def test_cohort_validates_inputs(self):
         server = ServerDB(entry_ttl=None)

@@ -1,5 +1,7 @@
 """Property-based tests (hypothesis) on kernel and core invariants."""
 
+import math
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -350,3 +352,89 @@ class TestSyncWireFormatProperties:
                 now,
             )
             assert self._state(batches) == self._state(rows)
+
+
+class TestGroupedSweepProperties:
+    """The group-applied fleet pull sweep is an optimization of the
+    retained per-client spec loop — hypothesis drives both through
+    random cohort shapes and wave/pull schedules and demands the same
+    :class:`FleetMetrics`, the same per-client record arrays, and the
+    same server-side serve counters (acceptance for hot-path round 4).
+    """
+
+    @staticmethod
+    def _storm(sweep_mode, seed, n_ases, clients, urls, frac, interval,
+               tick_div, wave_at, horizon_intervals):
+        from repro.core.fleet import ClientCohort
+
+        server = ServerDB(entry_ttl=None)
+        env = Environment()
+        cohort = ClientCohort(
+            server,
+            asns=[41000 + i for i in range(n_ases)],
+            clients_per_as=clients,
+            seed=seed,
+            reporter_fraction=frac,
+            pull_interval=interval,
+            tick=interval / tick_div,
+            sweep_mode=sweep_mode,
+        )
+
+        def driver():
+            yield env.timeout(wave_at)
+            cohort.start_wave(env.now, urls_per_as=urls)
+
+        env.process(driver())
+        stop_at = wave_at + horizon_intervals * interval + cohort.tick
+        env.process(cohort.run(env, stop_at))
+        env.run()
+        cohort.finalize()
+        return cohort
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        n_ases=st.integers(min_value=1, max_value=3),
+        clients=st.integers(min_value=1, max_value=25),
+        urls=st.integers(min_value=1, max_value=6),
+        frac=st.floats(min_value=0.05, max_value=1.0),
+        interval=st.floats(min_value=60.0, max_value=900.0),
+        tick_div=st.integers(min_value=3, max_value=40),
+        wave_frac=st.floats(min_value=0.0, max_value=2.0),
+        horizon_intervals=st.floats(min_value=0.25, max_value=2.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_grouped_sweep_bit_identical_to_spec(
+        self, seed, n_ases, clients, urls, frac, interval, tick_div,
+        wave_frac, horizon_intervals,
+    ):
+        args = (seed, n_ases, clients, urls, frac, interval, tick_div,
+                wave_frac * interval, horizon_intervals)
+        spec = self._storm("spec", *args)
+        grouped = self._storm("grouped", *args)
+        g_summary, s_summary = grouped.metrics.summary(), spec.metrics.summary()
+        assert g_summary.keys() == s_summary.keys()
+        for name in s_summary:
+            g_val, s_val = g_summary[name], s_summary[name]
+            if isinstance(s_val, float) and math.isnan(s_val):
+                # Unconverged cohorts report NaN aggregates on both sides.
+                assert math.isnan(g_val), name
+            else:
+                assert g_val == s_val, name
+        assert grouped.metrics.convergence_by_as == \
+            spec.metrics.convergence_by_as
+        assert grouped.metrics.pending_by_as == spec.metrics.pending_by_as
+        # Server-side serve/build accounting must agree too.
+        assert grouped.server.full_syncs_served == spec.server.full_syncs_served
+        assert grouped.server.delta_syncs_served == \
+            spec.server.delta_syncs_served
+        # Per-client record arrays: same layout, same values, bit for bit
+        # (the float pull schedule advances by the identical additions).
+        for ga, sa in zip(grouped.shards, spec.shards):
+            assert ga.versions == sa.versions
+            assert ga.next_pull_at == sa.next_pull_at
+            assert ga.bytes_received == sa.bytes_received
+            assert ga.rows_received == sa.rows_received
+            assert ga.pending == sa.pending
+            assert (ga.pulls, ga.pull_ptr) == (sa.pulls, sa.pull_ptr)
+            assert ga.unconverged == sa.unconverged
+            assert ga.converged_at == sa.converged_at

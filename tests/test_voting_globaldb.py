@@ -505,3 +505,70 @@ class TestDeltaSync:
         assert not delta.full
         assert delta.removed == ["http://solo.com/"]
         assert [e.url for e in delta.entries] == ["http://shared.com/"]
+
+
+class TestBatchCache:
+    """Built SyncBatches are cached per shard and invalidated by any
+    shard change — serving a cohort between changes constructs each
+    distinct batch once (the fleet sweep's server-side cost model)."""
+
+    ASN = 17557
+
+    def make_reports(self, urls, asn=ASN):
+        return [
+            ReportItem(url=url, asn=asn, stages=(BlockType.BLOCK_PAGE,),
+                       measured_at=1.0)
+            for url in urls
+        ]
+
+    def test_repeat_pulls_share_one_built_batch(self):
+        server = ServerDB(entry_ttl=None)
+        uuid = server.register(now=0.0)
+        server.post_update(
+            uuid, self.make_reports(["http://a.com/", "http://b.com/"]), now=1.0
+        )
+        first = server.sync_batch_for_as(self.ASN, now=2.0)
+        again = server.sync_batch_for_as(self.ASN, now=3.0)
+        assert again is first  # cache hit: the identical object
+        # Serve counters still count every pull, cached or not.
+        assert server.full_syncs_served == 2
+
+    def test_any_change_invalidates_cached_batches(self):
+        server = ServerDB(entry_ttl=None)
+        uuid = server.register(now=0.0)
+        server.post_update(uuid, self.make_reports(["http://a.com/"]), now=1.0)
+        stale = server.sync_batch_for_as(self.ASN, now=2.0)
+        other = server.register(now=2.5)
+        server.post_update(other, self.make_reports(["http://b.com/"]), now=3.0)
+        fresh = server.sync_batch_for_as(self.ASN, now=4.0)
+        assert fresh is not stale
+        assert set(fresh.urls) == {"http://a.com/", "http://b.com/"}
+        # Dissent and revocation also funnel through mark_changed.
+        delta = server.sync_batch_for_as(
+            self.ASN, now=5.0, since_version=stale.version
+        )
+        assert server.sync_batch_for_as(
+            self.ASN, now=5.5, since_version=stale.version
+        ) is delta
+        server.post_dissent(other, "http://b.com/", self.ASN, now=6.0)
+        after = server.sync_batch_for_as(
+            self.ASN, now=7.0, since_version=stale.version
+        )
+        assert after is not delta
+        assert "http://b.com/" in after.removed
+
+    def test_distinct_since_versions_cache_separately(self):
+        server = ServerDB(entry_ttl=None)
+        uuid = server.register(now=0.0)
+        server.post_update(uuid, self.make_reports(["http://a.com/"]), now=1.0)
+        v1 = server.version_for_as(self.ASN)
+        other = server.register(now=1.5)
+        server.post_update(other, self.make_reports(["http://b.com/"]), now=2.0)
+        full = server.sync_batch_for_as(self.ASN, now=3.0)
+        delta = server.sync_batch_for_as(self.ASN, now=3.0, since_version=v1)
+        assert full.full and not delta.full
+        assert [u for u in delta.urls] == ["http://b.com/"]
+        assert server.sync_batch_for_as(self.ASN, now=4.0) is full
+        assert server.sync_batch_for_as(
+            self.ASN, now=4.0, since_version=v1
+        ) is delta
