@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench report examples all clean
+.PHONY: install test lint analyze bench report examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -13,6 +13,11 @@ test:
 # Determinism & purity linter (DESIGN.md §7); fails on any violation.
 lint:
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON) -m repro.devtools.lint src
+
+# Whole-program determinism analyzer (DESIGN.md §12): call graph +
+# worker reachability + CSA rules, enforced at an empty baseline.
+analyze:
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON) -m repro.devtools.analyze src
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -27,7 +32,7 @@ examples:
 		$(PYTHON) $$script || exit 1; \
 	done
 
-all: lint test bench report
+all: lint analyze test bench report
 
 clean:
 	rm -rf benchmarks/results .pytest_cache .hypothesis

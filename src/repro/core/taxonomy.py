@@ -16,12 +16,17 @@ exhaustiveness assertions below will catch a half-finished mapping.
 
 Lookups are O(1): the per-call ``isinstance`` list the old
 ``measurement._failure_block_type`` rebuilt on every failure is replaced
-by a module-level cache keyed on ``type(error)`` (see the microbench
-note in DESIGN.md).
+by ``functools.lru_cache`` memoization keyed on ``type(error)`` (see the
+microbench note in DESIGN.md).  The memo is per-process and the mapped
+function is pure (class → classification, independent of call order),
+so trials stay deterministic under any worker sharding — csaw-analyze
+CSA101 flags hand-rolled module-dict caches here for exactly that
+reason.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Optional, Tuple, Type
 
 from ..simnet.dns import DnsError, DnsTimeout, NxDomain, Refused, ServFail
@@ -108,38 +113,31 @@ assert set(BLOCK_TYPE_FAILURE_CLASS) == set(BlockType), (
     )
 )
 
-# type(error) → symptom, pre-seeded with the concrete types and extended
-# lazily for subclasses the isinstance walk resolves.
-_BLOCK_TYPE_CACHE: Dict[type, Optional[BlockType]] = {
-    cls: block_type for cls, block_type in FAILURE_BLOCK_TYPES
-}
-_FAILURE_CLASS_CACHE: Dict[type, str] = {
-    DnsTimeout: "dns",
-    NxDomain: "dns",
-    ServFail: "dns",
-    Refused: "dns",
-    ConnectTimeout: "tcp",
-    ConnectionReset: "tcp",
-    TlsTimeout: "tls",
-    TlsReset: "tls",
-    HttpTimeout: "http",
-}
+# type(error) → classification, memoized per process.  Pure functions of
+# the class: safe shared state under any worker sharding, unlike the
+# hand-rolled module-dict caches they replace (CSA101).
+
+
+@lru_cache(maxsize=None)
+def _block_type_for_class(cls: Type[Exception]) -> Optional[BlockType]:
+    for base, block_type in FAILURE_BLOCK_TYPES:
+        if issubclass(cls, base):
+            return block_type
+    return None
+
+
+@lru_cache(maxsize=None)
+def _failure_class_for_class(cls: Type[Exception]) -> str:
+    for base, name in _FAILURE_CLASS_BASES:
+        if issubclass(cls, base):
+            return name
+    return "other"
 
 
 def block_type_for(error: Exception) -> Optional[BlockType]:
     """Blocking symptom a transport failure suggests; None when it maps
     to no censorship mechanism (e.g. an application error)."""
-    cls = type(error)
-    try:
-        return _BLOCK_TYPE_CACHE[cls]
-    except KeyError:
-        pass
-    for base, block_type in FAILURE_BLOCK_TYPES:
-        if isinstance(error, base):
-            _BLOCK_TYPE_CACHE[cls] = block_type
-            return block_type
-    _BLOCK_TYPE_CACHE[cls] = None
-    return None
+    return _block_type_for_class(type(error))
 
 
 def dns_block_type(error: DnsError) -> BlockType:
@@ -156,17 +154,7 @@ def dns_block_type(error: DnsError) -> BlockType:
 
 def failure_class(error: Exception) -> str:
     """Protocol stage a failure belongs to: dns | tcp | tls | http | other."""
-    cls = type(error)
-    try:
-        return _FAILURE_CLASS_CACHE[cls]
-    except KeyError:
-        pass
-    for base, name in _FAILURE_CLASS_BASES:
-        if isinstance(error, base):
-            _FAILURE_CLASS_CACHE[cls] = name
-            return name
-    _FAILURE_CLASS_CACHE[cls] = "other"
-    return "other"
+    return _failure_class_for_class(type(error))
 
 
 def failure_class_for(block_type: BlockType) -> str:

@@ -1,0 +1,7 @@
+"""``python -m repro.devtools.analyze`` entry point."""
+
+import sys
+
+from .main import main
+
+sys.exit(main())

@@ -114,12 +114,22 @@ def all_rules() -> Dict[str, Type[Rule]]:
 
 # -- inline suppressions -------------------------------------------------------
 
-_DISABLE_RE = re.compile(r"csaw-lint:\s*disable(?:=(?P<codes>[A-Z0-9,\s]+))?")
+_DISABLE_RES: Dict[str, "re.Pattern[str]"] = {}
 _ALL = frozenset({"*"})
 
 
-def _parse_disable(comment: str) -> Optional[FrozenSet[str]]:
-    match = _DISABLE_RE.search(comment)
+def _disable_re(marker: str) -> "re.Pattern[str]":
+    pattern = _DISABLE_RES.get(marker)
+    if pattern is None:
+        pattern = re.compile(
+            re.escape(marker) + r":\s*disable(?:=(?P<codes>[A-Z0-9,\s]+))?"
+        )
+        _DISABLE_RES[marker] = pattern
+    return pattern
+
+
+def _parse_disable(comment: str, marker: str) -> Optional[FrozenSet[str]]:
+    match = _disable_re(marker).search(comment)
     if match is None:
         return None
     codes = match.group("codes")
@@ -128,12 +138,17 @@ def _parse_disable(comment: str) -> Optional[FrozenSet[str]]:
     return frozenset(c.strip() for c in codes.split(",") if c.strip())
 
 
-def suppressed_lines(source: str) -> Dict[int, FrozenSet[str]]:
+def suppressed_lines(
+    source: str, marker: str = "csaw-lint"
+) -> Dict[int, FrozenSet[str]]:
     """Map line number -> codes suppressed there (``{"*"}`` = all codes).
 
     A trailing ``# csaw-lint: disable=CSL003`` suppresses its own line; a
     comment on a line of its own also covers the next line, so multi-line
-    statements can be annotated above rather than mid-expression.
+    statements can be annotated above rather than mid-expression.  The
+    whole-program analyzer reuses the machinery with its own ``marker``
+    (``# csaw-analyze: disable=CSA101``), so a line can be exempted from
+    one tool without hiding it from the other.
     """
     suppressed: Dict[int, FrozenSet[str]] = {}
     try:
@@ -143,7 +158,7 @@ def suppressed_lines(source: str) -> Dict[int, FrozenSet[str]]:
     for tok in tokens:
         if tok.type != tokenize.COMMENT:
             continue
-        codes = _parse_disable(tok.string)
+        codes = _parse_disable(tok.string, marker)
         if codes is None:
             continue
         line = tok.start[0]

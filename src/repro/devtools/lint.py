@@ -30,11 +30,16 @@ import ast
 import hashlib
 import json
 import os
-import re
 import sys
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .config import (
+    ToolConfig,
+    find_project_root,  # noqa: F401  (re-exported: part of the lint API)
+    iter_python_files,
+    load_tool_config,
+)
+from . import config as _config
 from .framework import (
     LintContext,
     Rule,
@@ -50,154 +55,14 @@ __all__ = ["LintConfig", "lint_paths", "load_config", "main"]
 
 # -- configuration -------------------------------------------------------------
 
-
-@dataclass
-class LintConfig:
-    root: str = "."
-    select: Tuple[str, ...] = ()  # empty = all registered
-    allow: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
-    scope: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
-    options: Dict[str, object] = field(default_factory=dict)
-    baseline: Optional[str] = None
-
-
-def _parse_minimal_toml(text: str) -> Dict[str, Dict[str, object]]:
-    """Tiny TOML subset parser (fallback when :mod:`tomllib` is absent).
-
-    Understands ``[dotted.section]`` headers and ``key = value`` lines
-    where value is a string, bool, int, or (possibly multi-line) array
-    of strings — exactly what ``[tool.csawlint]`` uses.  Unparseable
-    values are kept as raw strings and ignored by the config loader.
-    """
-    sections: Dict[str, Dict[str, object]] = {}
-    current: Dict[str, object] = sections.setdefault("", {})
-    pending_key: Optional[str] = None
-    pending_chunks: List[str] = []
-
-    def parse_value(raw: str) -> object:
-        raw = raw.strip()
-        if raw.startswith("[") and raw.endswith("]"):
-            return re.findall(r'"((?:[^"\\]|\\.)*)"', raw)
-        if len(raw) >= 2 and raw[0] == raw[-1] == '"':
-            return raw[1:-1]
-        if raw in ("true", "false"):
-            return raw == "true"
-        try:
-            return int(raw)
-        except ValueError:
-            return raw
-
-    for line in text.splitlines():
-        stripped = line.strip()
-        if pending_key is not None:
-            pending_chunks.append(stripped)
-            if stripped.endswith("]"):
-                current[pending_key] = parse_value(" ".join(pending_chunks))
-                pending_key, pending_chunks = None, []
-            continue
-        if not stripped or stripped.startswith("#"):
-            continue
-        if stripped.startswith("[") and stripped.endswith("]"):
-            name = stripped.strip("[]").strip().strip('"')
-            current = sections.setdefault(name, {})
-            continue
-        if "=" in stripped:
-            key, _, raw = stripped.partition("=")
-            raw = raw.split(" #")[0].strip()
-            if raw.startswith("[") and not raw.endswith("]"):
-                pending_key, pending_chunks = key.strip(), [raw]
-                continue
-            current[key.strip()] = parse_value(raw)
-    return sections
-
-
-def _load_toml(path: str) -> Dict[str, object]:
-    with open(path, "rb") as fh:
-        data = fh.read()
-    try:
-        import tomllib  # Python 3.11+
-
-        return tomllib.loads(data.decode("utf-8"))
-    except ImportError:
-        flat = _parse_minimal_toml(data.decode("utf-8"))
-        nested: Dict[str, object] = dict(flat.get("", {}))
-        for section, values in flat.items():
-            if not section:
-                continue
-            node = nested
-            for part in section.split("."):
-                node = node.setdefault(part, {})  # type: ignore[assignment]
-            if isinstance(node, dict):
-                node.update(values)
-        return nested
-
-
-def find_project_root(start: str) -> str:
-    """Nearest ancestor of ``start`` containing a ``pyproject.toml``."""
-    path = os.path.abspath(start)
-    if os.path.isfile(path):
-        path = os.path.dirname(path)
-    while True:
-        if os.path.isfile(os.path.join(path, "pyproject.toml")):
-            return path
-        parent = os.path.dirname(path)
-        if parent == path:
-            return os.path.abspath(os.getcwd())
-        path = parent
+#: The lint config is the shared devtools shape (devtools/config.py);
+#: ``csaw-analyze`` loads the same dataclass from ``[tool.csawanalyze]``.
+LintConfig = ToolConfig
 
 
 def load_config(config_path: Optional[str], anchor: str) -> LintConfig:
     """Load ``[tool.csawlint]`` from an explicit path or the project root."""
-    if config_path is None:
-        root = find_project_root(anchor)
-        config_path = os.path.join(root, "pyproject.toml")
-        if not os.path.isfile(config_path):
-            return LintConfig(root=root)
-    else:
-        root = os.path.dirname(os.path.abspath(config_path)) or "."
-    table = _load_toml(config_path)
-    section = table.get("tool", {})
-    section = section.get("csawlint", {}) if isinstance(section, dict) else {}
-    if not isinstance(section, dict):
-        section = {}
-
-    def globs(value: object) -> Dict[str, Tuple[str, ...]]:
-        if not isinstance(value, dict):
-            return {}
-        return {
-            str(code): tuple(str(g) for g in patterns)
-            for code, patterns in value.items()
-            if isinstance(patterns, (list, tuple))
-        }
-
-    options = section.get("options", {})
-    return LintConfig(
-        root=root,
-        select=tuple(section.get("select", ())),
-        allow=globs(section.get("allow")),
-        scope=globs(section.get("scope")),
-        options=dict(options) if isinstance(options, dict) else {},
-        baseline=section.get("baseline"),
-    )
-
-
-# -- file discovery ------------------------------------------------------------
-
-
-def iter_python_files(paths: Sequence[str]) -> List[str]:
-    found: List[str] = []
-    for path in paths:
-        if os.path.isdir(path):
-            for dirpath, dirnames, filenames in os.walk(path):
-                dirnames[:] = sorted(
-                    d for d in dirnames if d not in ("__pycache__", ".git")
-                )
-                for name in sorted(filenames):
-                    if name.endswith(".py"):
-                        found.append(os.path.join(dirpath, name))
-        elif path.endswith(".py"):
-            found.append(path)
-    return found
+    return load_tool_config("csawlint", config_path, anchor)
 
 
 # -- core lint loop ------------------------------------------------------------
@@ -274,53 +139,24 @@ def lint_paths(
     return violations
 
 
-# -- baseline ------------------------------------------------------------------
-
-
-def _baseline_key(violation: Violation, config: LintConfig) -> str:
-    relpath = os.path.relpath(
-        os.path.abspath(violation.path), config.root
-    ).replace(os.sep, "/")
-    return f"{relpath}:{violation.code}"
+# -- baseline (shared with csaw-analyze; see devtools/config.py) ---------------
 
 
 def write_baseline(
     violations: Iterable[Violation], path: str, config: LintConfig
 ) -> None:
-    counts: Dict[str, int] = {}
-    for violation in violations:
-        key = _baseline_key(violation, config)
-        counts[key] = counts.get(key, 0) + 1
-    payload = {"version": 1, "entries": dict(sorted(counts.items()))}
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    _config.write_baseline(violations, path, config.root)
 
 
 def load_baseline(path: Optional[str]) -> Dict[str, int]:
-    if not path or not os.path.isfile(path):
-        return {}
-    with open(path, "r", encoding="utf-8") as fh:
-        payload = json.load(fh)
-    entries = payload.get("entries", {})
-    return {str(k): int(v) for k, v in entries.items()}
+    return _config.load_baseline(path)
 
 
 def apply_baseline(
     violations: Sequence[Violation], baseline: Dict[str, int], config: LintConfig
 ) -> Tuple[List[Violation], int]:
     """Drop up to ``baseline[key]`` findings per (file, code); count kept."""
-    remaining = dict(baseline)
-    fresh: List[Violation] = []
-    grandfathered = 0
-    for violation in violations:
-        key = _baseline_key(violation, config)
-        if remaining.get(key, 0) > 0:
-            remaining[key] -= 1
-            grandfathered += 1
-        else:
-            fresh.append(violation)
-    return fresh, grandfathered
+    return _config.apply_baseline(violations, baseline, config.root)
 
 
 # -- CLI -----------------------------------------------------------------------

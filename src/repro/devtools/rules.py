@@ -254,7 +254,8 @@ class UnorderedIterationRule(Rule):
     name = "no-unordered-iteration"
     message = (
         "iteration over an unordered set escapes hash order: wrap in "
-        "sorted() or use an ordered dict-as-set"
+        "sorted() or use an ordered dict-as-set (cross-module escapes "
+        "through call-returned sets are csaw-analyze CSA105's findings)"
     )
 
     def check(self, ctx: LintContext) -> Iterator[Violation]:

@@ -1,0 +1,18 @@
+"""CSA101 negative: the same shape with state threaded as a parameter.
+
+Writing into a dict the caller passed in is not shared module state —
+each trial owns its mapping, so worker sharding cannot reorder effects.
+"""
+
+
+def helper(cache, x):
+    cache[x] = x
+    return x
+
+
+def entry(trial):
+    return helper({}, trial)
+
+
+def launch(specs):
+    return [TrialSpec(name, entry) for name in specs]

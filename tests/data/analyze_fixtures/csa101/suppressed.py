@@ -1,0 +1,18 @@
+"""CSA101 suppression: a documented inline disable silences one site."""
+
+HITS = {}
+
+
+def probe(x):
+    # Idempotent marker write (key -> constant True); order-free by
+    # construction, kept for the suppression fixture.
+    HITS[x] = True  # csaw-analyze: disable=CSA101
+    return x
+
+
+def entry(trial):
+    return probe(trial)
+
+
+def launch():
+    return TrialSpec("probe", entry)

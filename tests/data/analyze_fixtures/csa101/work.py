@@ -1,0 +1,27 @@
+"""CSA101 positive: module state written by worker-reachable helpers.
+
+``entry`` is passed to ``TrialSpec`` (so it ships to pool workers);
+``middle`` and ``helper`` are reachable from it and write module-level
+mutable state — one item assignment, one in-place ``.append``.
+"""
+
+CACHE = {}
+TALLY = []
+
+
+def helper(x):
+    CACHE[x] = x
+    return x
+
+
+def middle(x):
+    TALLY.append(helper(x))
+    return x
+
+
+def entry(trial):
+    return middle(trial)
+
+
+def launch(specs):
+    return [TrialSpec(name, entry) for name in specs]

@@ -1,0 +1,18 @@
+"""CSA102 negatives: every sanctioned stream-name shape.
+
+- a threaded parameter (the literal registers at the caller);
+- a ``fork()``-ed child registry (per-entity namespace);
+- a constant prefix/suffix on a threaded name.
+"""
+
+
+def draw(rngs, name):
+    return rngs.stream(name).random()
+
+
+def forked(rngs, ident):
+    return rngs.fork(ident).stream(f"client/{ident}").random()
+
+
+def prefixed(rngs, ident):
+    return rngs.stream("wave/" + ident).random()

@@ -1,0 +1,6 @@
+"""CSA102 positive (collision): registers the same literal stream name
+as ``collide_b`` — their draw sequences would interleave."""
+
+
+def draw(rngs):
+    return rngs.stream("shared-pool").random()

@@ -1,0 +1,5 @@
+"""CSA102 positive (collision): the other half of the shared name."""
+
+
+def sample(rngs):
+    return rngs.stream("shared-pool").random()

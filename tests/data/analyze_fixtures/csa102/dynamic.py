@@ -1,0 +1,6 @@
+"""CSA102 positive (dynamic name): a computed stream name cannot be
+audited for collisions at all."""
+
+
+def draw(rngs, key):
+    return rngs.stream(key.upper()).random()

@@ -1,0 +1,11 @@
+"""CSA102 positive (constant seed): worker-reachable code seeding an
+RNG with a literal gives every trial the identical draw sequence."""
+
+
+def trial(t):
+    rng = RngRegistry(seed=1234)
+    return rng.stream("trial-noise").random()
+
+
+def launch():
+    return TrialSpec("t", trial)

@@ -1,0 +1,9 @@
+"""CSA103 negative: pure computation, no path to any ambient sink."""
+
+
+def pure(x):
+    return x * 2
+
+
+def compose(x):
+    return pure(pure(x))

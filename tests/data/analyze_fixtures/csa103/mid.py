@@ -1,0 +1,12 @@
+"""CSA103 positive: two helper layers transitively reach a wall-clock
+sink defined in another module."""
+
+from sinks import now
+
+
+def helper():
+    return now() + 1.0
+
+
+def caller():
+    return helper()

@@ -1,0 +1,8 @@
+"""CSA103 fixture: the direct sink itself (csaw-lint's finding, not
+CSA103's — the analyzer only reports the *escape* through callers)."""
+
+import time
+
+
+def now():
+    return time.time()

@@ -1,0 +1,8 @@
+"""CSA104: flagged only when ``spec-modules`` includes ``myspec``."""
+
+from myspec import MySpec
+
+
+def adjust(cfg: MySpec):
+    cfg.depth = 3
+    return cfg

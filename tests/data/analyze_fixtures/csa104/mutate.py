@@ -1,0 +1,12 @@
+"""CSA104 positive: attribute assignment and in-place mutation on a
+parameter annotated with the spec-tree root class."""
+
+
+def tweak(spec: ScenarioSpec):
+    spec.seed = 1
+    spec.sites.append("x")
+    return spec
+
+
+def fine(spec: ScenarioSpec):
+    return spec.seed

@@ -1,0 +1,5 @@
+"""CSA104 fixture: a custom spec module for the ``spec-modules`` option."""
+
+
+class MySpec:
+    pass

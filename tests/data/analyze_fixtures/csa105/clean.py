@@ -1,0 +1,7 @@
+"""CSA105 negative: sorted() fixes the order before it escapes."""
+
+from producer import annotated
+
+
+def report(xs):
+    return sorted(annotated(xs))

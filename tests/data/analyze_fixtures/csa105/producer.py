@@ -1,0 +1,13 @@
+"""CSA105 fixture: set-returning producers in their own module, so the
+set-ness is invisible to any per-file analysis of the consumers."""
+
+
+def candidates():
+    return {"a", "b", "c"}
+
+
+def annotated(xs) -> set:
+    out = set()
+    for x in xs:
+        out.add(x)
+    return out

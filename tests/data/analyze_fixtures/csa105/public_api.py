@@ -1,0 +1,31 @@
+"""CSA105 positives and negatives around a cross-module set producer.
+
+``layered`` itself returning the set is fine (the caller still sees a
+set); materializing its *order* into a public return value is not.
+"""
+
+from producer import candidates
+
+
+def layered():
+    return candidates()
+
+
+def report():
+    return list(candidates())
+
+
+def digest():
+    return ",".join(layered())
+
+
+def listing():
+    return [c for c in candidates()]
+
+
+def ordered():
+    return sorted(candidates())
+
+
+def _internal():
+    return list(candidates())

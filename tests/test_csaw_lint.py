@@ -207,12 +207,14 @@ class TestCSL003UnorderedIteration:
         """
         assert codes(src) == []
 
-    def test_fleet_record_array_sweeps_allowlisted(self):
-        """The repo config exempts ``core/fleet.py``: its id-set sweeps
-        fill integer-indexed record arrays (order-free folds), which the
-        set-tracking heuristic cannot see.  Everywhere else the same
-        shape still trips."""
+    def test_fleet_no_longer_allowlisted_for_csl003(self):
+        """The grouped-sweep rewrite dropped the id-set bookkeeping that
+        needed the ``core/fleet.py`` CSL003 exemption, so the repo config
+        no longer carries it: the set-iteration shape trips in fleet.py
+        like everywhere else (and the shipped fleet.py stays clean, per
+        the whole-tree enforcement test)."""
         config = load_config(str(REPO / "pyproject.toml"), str(REPO))
+        assert "CSL003" not in config.allow
         src = """
         def sweep(due, versions, target):
             ids = set(due)
@@ -221,7 +223,7 @@ class TestCSL003UnorderedIteration:
         """
         fleet = str(REPO / "src" / "repro" / "core" / "fleet.py")
         other = str(REPO / "src" / "repro" / "core" / "localdb.py")
-        assert codes(src, path=fleet, config=config) == []
+        assert codes(src, path=fleet, config=config) == ["CSL003"]
         assert codes(src, path=other, config=config) == ["CSL003"]
 
     def test_grouped_sweep_grouping_dicts_clean_everywhere(self):
