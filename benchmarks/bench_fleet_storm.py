@@ -146,6 +146,48 @@ def test_grouped_sweep_beats_spec_3x(report):
     )
 
 
+def test_plane_mix_storm_within_1_5x_of_single_plane(report):
+    """Plane-machinery guard: a three-plane 100k storm (C-Saw + Encore +
+    generated probe lists at the same combined 1% reporter mass as the
+    single-plane storm) may cost at most 1.5x ``fleet_report_storm``.
+    Plane groups add per-plane RNG streams, per-reporter Encore item
+    draws, per-plane curves, and activated per-plane voting histograms
+    — all of which must stay amortized against the pull sweep and
+    report absorption that dominate the storm.  Interleaved best-of-3,
+    same idiom as the grouped-vs-spec guard."""
+    from record_engine_bench import run_plane_mix_storm
+
+    single_best = mixed_best = float("inf")
+    mixed = None
+    for _ in range(3):  # interleave rounds so drift hits both sides alike
+        start = time.perf_counter()
+        single = run_fleet_storm(seed=0, n_ases=50, clients_per_as=2000)
+        single_best = min(single_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        mixed = run_plane_mix_storm()
+        mixed_best = min(mixed_best, time.perf_counter() - start)
+
+    assert single.n_clients == mixed.n_clients == 100_000
+    assert sum(mixed.reports_by_plane.values()) == mixed.reports_absorbed
+    assert all(
+        t >= 0
+        for by_as in mixed.convergence_by_plane.values()
+        for t in by_as.values()
+    )
+
+    ratio = mixed_best / single_best
+    report(
+        "plane-mix storm vs single-plane storm (100k clients, 50 ASes):\n"
+        f"  single: {single_best * 1000:.0f} ms   "
+        f"mixed: {mixed_best * 1000:.0f} ms   ratio: {ratio:.2f}x\n"
+        f"  reports by plane: {dict(sorted(mixed.reports_by_plane.items()))}"
+    )
+    assert ratio <= 1.5, (
+        f"three-plane storm costs {ratio:.2f}x the single-plane storm "
+        "(budget 1.5x)"
+    )
+
+
 def test_fleet_report_storm_1m_within_budget(report):
     """Acceptance: one million clients (100 ASes x 10 000) through the
     full wave + pull storm inside a wall-clock budget.  The budget is

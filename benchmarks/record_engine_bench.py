@@ -294,6 +294,34 @@ def run_fleet_report_storm_1m():
     return metrics
 
 
+def run_plane_mix_storm():
+    """The 100k storm with a three-plane mix (C-Saw + Encore + generated
+    probe lists) instead of the single C-Saw plane.  Same fleet shape as
+    ``fleet_report_storm`` and the same combined 1% reporter mass — the
+    mix splits it 0.4/0.5/0.1 — so what's measured is the overhead of
+    the plane *machinery*: per-plane RNG streams, per-reporter Encore
+    item draws, per-plane convergence curves, and the activated
+    per-plane voting histograms on the server (report volume would
+    otherwise dominate and the ratio would just measure reporter count).
+    Guarded at <=1.5x the single-plane storm in ``bench_fleet_storm.py``."""
+    from repro.core.fleet import run_fleet_storm
+
+    metrics = run_fleet_storm(
+        seed=0,
+        n_ases=50,
+        clients_per_as=2000,
+        planes=[
+            {"kind": "csaw", "fraction": 0.004},
+            {"kind": "encore", "fraction": 0.005, "miss_rate": 0.2},
+            {"kind": "problist", "fraction": 0.001, "coverage": 0.9},
+        ],
+    )
+    assert metrics.n_clients == 100_000
+    assert set(metrics.reports_by_plane) == {"csaw", "encore", "problist"}
+    assert not any(v < 0 for v in metrics.convergence_by_as.values())
+    return metrics
+
+
 def run_fleet_pull_storm_batch(n_clients=2000, n_ases=10):
     """Cohort-scale pull storm, columnar path: 2000 clients across 10
     ASes (200 per AS — the regime the fleet layer targets).  One
@@ -358,6 +386,7 @@ WORKLOADS = {
     "globaldb_pull_storm": run_globaldb_pull_storm,
     "fleet_report_storm": run_fleet_report_storm,
     "fleet_report_storm_1m": run_fleet_report_storm_1m,
+    "plane_mix_storm": run_plane_mix_storm,
     "fleet_pull_storm_batch": run_fleet_pull_storm_batch,
     "fleet_pull_storm_rows": run_fleet_pull_storm_rows,
     "voting_update_storm": run_voting_update_storm,

@@ -1,5 +1,11 @@
 """Analysis helpers: CDFs, percentiles, summaries, table rendering."""
 
+from .planes import (
+    plane_convergence_curves,
+    plane_mix_rows,
+    render_plane_mix,
+    voting_robustness,
+)
 from .plt_decomposition import (
     decompose,
     merge_breakdowns,
@@ -24,4 +30,8 @@ __all__ = [
     "decompose",
     "merge_breakdowns",
     "render_plt_decomposition",
+    "plane_convergence_curves",
+    "plane_mix_rows",
+    "render_plane_mix",
+    "voting_robustness",
 ]

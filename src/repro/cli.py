@@ -224,8 +224,11 @@ def _cmd_scenario_run_all(args: argparse.Namespace) -> int:
         outcome = runner.run(load_spec(path))
         elapsed = time.perf_counter() - started
         report = outcome.report
-        status = "PASS" if report.ok else "FAIL"
-        if not report.ok:
+        # A pack fails when its expectation diff is non-empty — the diff
+        # is the artifact CI consumes, so it is also the exit signal
+        # (guards against report.ok and diff() ever disagreeing).
+        status = "PASS" if report.ok and not report.diff() else "FAIL"
+        if status == "FAIL":
             failed.append((name, report))
         rows.append([
             name, outcome.mode, status,
@@ -235,7 +238,7 @@ def _cmd_scenario_run_all(args: argparse.Namespace) -> int:
         timings.append({
             "pack": name,
             "mode": outcome.mode,
-            "ok": report.ok,
+            "ok": status == "PASS",
             "checks": len(report.checks),
             "failures": len(report.failures),
             "seconds": round(elapsed, 3),

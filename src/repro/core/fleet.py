@@ -46,6 +46,19 @@ space across worker processes with :mod:`repro.runner` — shards are
 independent by construction, so each worker simulates its slice of the
 fleet against its own :class:`ServerDB` and the per-AS metrics merge by
 concatenation (global counters by summation).
+
+**Measurement planes** (DESIGN.md §13): each AS's reporter population is
+a list of :class:`_PlaneGroup` records, one per
+:class:`repro.planes.MeasurementPlane` in the cohort's mix — per-plane
+reporter indices,
+identities, detection schedules, item lists, and convergence targets.
+The default mix is a single :class:`~repro.planes.CSawBrowserPlane` at
+``reporter_fraction``, bit-identical to the pre-plane pipeline
+(``tests/data/plane_golden.json``): plane 0 draws from the shard's own
+RNG stream in the historical order, while every additional plane draws
+from its own ``derive_seed(seed, "fleet-plane", name, asn)`` stream — so
+adding a plane never perturbs the C-Saw subpopulation, and sharded
+workers stay draw-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -53,12 +66,15 @@ from __future__ import annotations
 import random
 from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..runner import TrialSpec, derive_seed, merge_values, run_trials
 from ..simnet.engine import Environment
 from .globaldb import SYNC_HEADER_BYTES, ReportItem, ServerDB
 from .records import BlockType
+
+# NOTE: the planes package imports this module (WAVE_STAGES), so planes
+# themselves are imported lazily inside methods — never at module level.
 
 __all__ = [
     "CohortAs",
@@ -72,15 +88,54 @@ __all__ = [
 WAVE_STAGES: Tuple[BlockType, ...] = (BlockType.DNS_TIMEOUT, BlockType.BLOCK_PAGE)
 
 
+class _PlaneGroup:
+    """One measurement plane's reporter subpopulation within an AS.
+
+    Exactly the per-reporter record arrays ``CohortAs`` used to carry
+    inline, one set per plane: reporter indices and server identities,
+    detection schedule, per-reporter pending counts, the plane's item
+    lists (one shared list, or per-reporter lists for planes whose
+    vantages each observe their own subset), and the plane's own
+    convergence target/curve.
+    """
+
+    __slots__ = (
+        "plane", "name", "reporter_ix", "uuids", "report_at",
+        "report_order", "report_ptr", "pending", "items", "items_by_r",
+        "target_version", "unconverged", "converged_at", "curve",
+        "last_converged",
+    )
+
+    def __init__(self, plane, n_clients: int):
+        self.plane = plane
+        self.name = plane.profile.name
+        self.reporter_ix = array("l")
+        self.uuids: List[str] = []
+        self.report_at = array("d")
+        self.report_order: List[int] = []
+        self.report_ptr = 0
+        self.pending = array("l")
+        self.items: List[ReportItem] = []
+        # Per-reporter item lists (plane.per_reporter_items); None for
+        # shared-list planes — posts then use ``items`` directly.
+        self.items_by_r: Optional[List[List[ReportItem]]] = None
+        self.target_version: Optional[int] = None
+        self.unconverged = n_clients
+        self.converged_at: Optional[float] = None
+        # Convergence-curve events: (sim time, clients converged so far)
+        # recorded at service-tick granularity — identical across sweep
+        # modes because it samples end-of-tick state, not sweep order.
+        self.curve: List[Tuple[float, int]] = []
+        self.last_converged = 0
+
+
 class CohortAs:
     """One AS's client population, as parallel record arrays."""
 
     __slots__ = (
         "asn", "n", "rng", "versions", "next_pull_at", "pull_order", "pull_ptr",
-        "bytes_received", "rows_received", "pulls", "wave_urls", "wave_items",
-        "reporter_ix", "reporter_uuids", "report_at", "report_order",
-        "report_ptr", "pending", "target_version", "wave_started_at",
-        "converged_at", "unconverged",
+        "bytes_received", "rows_received", "pulls", "wave_urls", "groups",
+        "target_version", "wave_started_at", "converged_at", "unconverged",
     )
 
     def __init__(self, asn: int, n: int, pull_interval: float,
@@ -104,19 +159,56 @@ class CohortAs:
         self.bytes_received = array("q", [0]) * n
         self.rows_received = array("q", [0]) * n
         self.pulls = 0
-        # Blocking-wave state (filled by start_wave / reporter posts).
+        # Blocking-wave state (filled by start_wave / reporter posts):
+        # one _PlaneGroup per plane in the cohort's mix.
         self.wave_urls: List[str] = []
-        self.wave_items: List[ReportItem] = []
-        self.reporter_ix = array("l")
-        self.reporter_uuids: List[str] = []
-        self.report_at = array("d")
-        self.report_order: List[int] = []
-        self.report_ptr = 0
-        self.pending = array("l")
+        self.groups: List[_PlaneGroup] = []
         self.target_version: Optional[int] = None
         self.wave_started_at: Optional[float] = None
         self.converged_at: Optional[float] = None
         self.unconverged = n
+
+    # Aggregate views over the plane groups, in mix order — the shape
+    # the pre-plane record arrays had (and what the golden fingerprint
+    # and sweep property tests read).  With a single group these are the
+    # group's own arrays.
+
+    @property
+    def reporter_ix(self) -> array:
+        groups = self.groups
+        if len(groups) == 1:
+            return groups[0].reporter_ix
+        out = array("l")
+        for g in groups:
+            out.extend(g.reporter_ix)
+        return out
+
+    @property
+    def reporter_uuids(self) -> List[str]:
+        groups = self.groups
+        if len(groups) == 1:
+            return groups[0].uuids
+        return [uuid for g in groups for uuid in g.uuids]
+
+    @property
+    def report_at(self) -> array:
+        groups = self.groups
+        if len(groups) == 1:
+            return groups[0].report_at
+        out = array("d")
+        for g in groups:
+            out.extend(g.report_at)
+        return out
+
+    @property
+    def pending(self) -> array:
+        groups = self.groups
+        if len(groups) == 1:
+            return groups[0].pending
+        out = array("l")
+        for g in groups:
+            out.extend(g.pending)
+        return out
 
 
 @dataclass
@@ -136,6 +228,24 @@ class FleetMetrics:
     server_entries: int = 0
     convergence_by_as: Dict[int, float] = field(default_factory=dict)
     pending_by_as: Dict[int, int] = field(default_factory=dict)
+    # Per-plane provenance (DESIGN.md §13).  Keys are plane names; the
+    # single-plane storm has exactly one, DEFAULT_PLANE.  ``summary()``
+    # is deliberately unchanged — per-plane views live in these fields
+    # and :meth:`plane_summary`.
+    reporters_by_plane: Dict[str, int] = field(default_factory=dict)
+    reports_by_plane: Dict[str, int] = field(default_factory=dict)
+    # plane -> asn -> seconds from wave onset (-1.0 = did not converge):
+    # convergence of the *population* on the entries that plane's last
+    # report pinned (the plane's own target shard version).
+    convergence_by_plane: Dict[str, Dict[int, float]] = field(
+        default_factory=dict
+    )
+    # plane -> [(seconds after wave onset, clients newly converged)]
+    # events across all ASes; sort + cumulative-sum yields the
+    # convergence curve (see repro.analysis.planes).
+    curve_by_plane: Dict[str, List[Tuple[float, int]]] = field(
+        default_factory=dict
+    )
 
     @property
     def report_window(self) -> float:
@@ -207,6 +317,18 @@ class FleetMetrics:
         self.server_entries += other.server_entries
         self.convergence_by_as.update(other.convergence_by_as)
         self.pending_by_as.update(other.pending_by_as)
+        for plane, count in other.reporters_by_plane.items():
+            self.reporters_by_plane[plane] = (
+                self.reporters_by_plane.get(plane, 0) + count
+            )
+        for plane, count in other.reports_by_plane.items():
+            self.reports_by_plane[plane] = (
+                self.reports_by_plane.get(plane, 0) + count
+            )
+        for plane, by_as in other.convergence_by_plane.items():
+            self.convergence_by_plane.setdefault(plane, {}).update(by_as)
+        for plane, events in other.curve_by_plane.items():
+            self.curve_by_plane.setdefault(plane, []).extend(events)
         return self
 
     def summary(self) -> Dict[str, float]:
@@ -228,6 +350,28 @@ class FleetMetrics:
             "server_entries": self.server_entries,
         }
 
+    def plane_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-plane scalars: reporter/report counts and convergence of
+        each plane's own target (mean over converged ASes, count of
+        converged ASes).  Empty until a wave ran."""
+        out: Dict[str, Dict[str, float]] = {}
+        for plane in sorted(
+            self.reporters_by_plane.keys() | self.convergence_by_plane.keys()
+        ):
+            by_as = self.convergence_by_plane.get(plane, {})
+            converged = [v for v in by_as.values() if v >= 0.0]
+            out[plane] = {
+                "reporters": self.reporters_by_plane.get(plane, 0),
+                "reports": self.reports_by_plane.get(plane, 0),
+                "converged_ases": len(converged),
+                "mean_convergence_sim_s": (
+                    sum(converged) / len(converged)
+                    if converged
+                    else float("nan")
+                ),
+            }
+        return out
+
 
 class ClientCohort:
     """A population of lightweight clients spread over per-AS shards."""
@@ -242,6 +386,7 @@ class ClientCohort:
         pull_interval: float = 600.0,
         tick: Optional[float] = None,
         sweep_mode: str = "grouped",
+        planes: Optional[Sequence] = None,
     ):
         if clients_per_as < 1:
             raise ValueError("clients_per_as must be >= 1")
@@ -258,6 +403,31 @@ class ClientCohort:
             else self._service_pulls_spec
         )
         self.server = server
+        self.seed = seed
+        # The measurement-plane mix: MeasurementPlane instances or spec
+        # mappings (resolved via the planes registry).  None is the
+        # degenerate single-plane mix — one CSawBrowserPlane at
+        # reporter_fraction, bit-identical to the pre-plane cohort.
+        from ..planes import build_plane
+        from ..planes.base import MeasurementPlane
+        from ..planes.csaw import CSawBrowserPlane
+
+        if planes is None:
+            self.planes: List[MeasurementPlane] = [
+                CSawBrowserPlane(fraction=reporter_fraction)
+            ]
+        else:
+            self.planes = [
+                plane
+                if isinstance(plane, MeasurementPlane)
+                else build_plane(plane)
+                for plane in planes
+            ]
+        if not self.planes:
+            raise ValueError("planes must not be empty")
+        names = [plane.profile.name for plane in self.planes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate plane names: {names!r}")
         self.pull_interval = pull_interval
         # Service granularity: how often each AS's population is swept
         # for due pulls/reports.  Coarser ticks batch more clients per
@@ -290,78 +460,147 @@ class ClientCohort:
         now: float,
         urls_per_as: int,
         detection_delay: Tuple[float, float] = (5.0, 120.0),
+        stagger: float = 0.0,
     ) -> None:
         """A censor starts blocking ``urls_per_as`` URLs in every AS.
 
-        The reporter subset of each AS's population notices within a
-        uniform ``detection_delay`` window and posts its measurements
-        through the ordinary report path (registering a real UUID with
-        the server, so voting and reputation see the traffic).
+        Each plane's reporter subset of the AS's population notices per
+        the plane's detection model and posts its measurements through
+        the ordinary report path (registering a real UUID with the
+        server, so voting and reputation see the traffic).
 
-        The uploaded :class:`ReportItem` list is identical for every
-        reporter of an AS, so it is built once per shard per wave (with
-        the wave onset as the measurement time ``T_m``; each reporter's
-        individual detection time still shows as its post time ``T_p``)
-        instead of being rebuilt per reporter in the service loop.
+        A shared-list plane's uploaded :class:`ReportItem` list is
+        identical for every reporter of an AS, so it is built once per
+        shard per wave (with the wave onset as the measurement time
+        ``T_m``; each reporter's individual detection time still shows
+        as its post time ``T_p``) instead of being rebuilt per reporter
+        in the service loop.  Per-reporter planes (Encore's independent
+        misclassification draws) thin the shared list once per reporter
+        up front.
+
+        ``stagger > 0`` rolls the wave: each AS's onset is drawn
+        uniformly from ``[now, now + stagger)`` on a per-AS derived
+        stream (worker-count invariant; the zero default leaves every
+        draw untouched).
+
+        RNG discipline: plane 0 draws from the shard's own stream in
+        the historical order (sample, then delays, then any item draws),
+        so the single-plane cohort is draw-for-draw the pre-plane one;
+        every further plane draws from its own derived stream, so adding
+        planes never perturbs plane 0's subpopulation.
         """
+        server = self.server
+        metrics = self.metrics
         for st in self.shards:
-            rng = st.rng
+            onset = now
+            if stagger > 0.0:
+                onset = now + random.Random(
+                    derive_seed(self.seed, "fleet-wave", st.asn)
+                ).uniform(0.0, stagger)
             st.wave_urls = [
                 f"http://wave-as{st.asn}-{k}.example.com/"
                 for k in range(urls_per_as)
             ]
-            st.wave_items = [
-                ReportItem(
-                    url=url,
-                    asn=st.asn,
-                    stages=WAVE_STAGES,
-                    measured_at=now,
-                )
-                for url in st.wave_urls
-            ]
-            st.wave_started_at = now
-            n_reporters = max(1, round(st.n * self.reporter_fraction))
-            st.reporter_ix = array(
-                "l", rng.sample(range(st.n), n_reporters)
-            )
-            st.reporter_uuids = [
-                self.server.register(now=now + 0.001 * i)
-                for i in range(n_reporters)
-            ]
-            st.report_at = array(
-                "d",
-                (now + rng.uniform(*detection_delay) for _ in range(n_reporters)),
-            )
-            st.report_order = sorted(
-                range(n_reporters), key=st.report_at.__getitem__
-            )
-            st.report_ptr = 0
-            st.pending = array("l", [urls_per_as]) * n_reporters
+            st.wave_started_at = onset
+            st.groups = []
             st.target_version = None
             st.converged_at = None
             st.unconverged = st.n
-            self.metrics.n_reporters += n_reporters
+            for p_ix, plane in enumerate(self.planes):
+                rng = (
+                    st.rng
+                    if p_ix == 0
+                    else random.Random(
+                        derive_seed(
+                            self.seed, "fleet-plane", plane.profile.name,
+                            st.asn,
+                        )
+                    )
+                )
+                group = _PlaneGroup(plane, st.n)
+                n_reporters = plane.reporter_count(st.n)
+                group.reporter_ix = array(
+                    "l", rng.sample(range(st.n), n_reporters)
+                )
+                group.uuids = plane.register_reporters(
+                    server, onset, n_reporters
+                )
+                group.report_at = array(
+                    "d",
+                    (
+                        onset + delay
+                        for delay in plane.detection_delays(
+                            n_reporters, rng, detection_delay
+                        )
+                    ),
+                )
+                group.report_order = sorted(
+                    range(n_reporters), key=group.report_at.__getitem__
+                )
+                group.items = plane.wave_items(
+                    st.wave_urls, st.asn, onset, rng
+                )
+                if plane.per_reporter_items:
+                    group.items_by_r = [
+                        plane.reporter_items(group.items, rng)
+                        for _ in range(n_reporters)
+                    ]
+                    group.pending = array(
+                        "l", (len(items) for items in group.items_by_r)
+                    )
+                else:
+                    group.pending = array(
+                        "l", [len(group.items)]
+                    ) * n_reporters
+                st.groups.append(group)
+                metrics.n_reporters += n_reporters
+                metrics.reporters_by_plane[group.name] = (
+                    metrics.reporters_by_plane.get(group.name, 0)
+                    + n_reporters
+                )
 
     # -- per-tick service ------------------------------------------------------
 
     def _post_due_reports(self, st: CohortAs, now: float) -> None:
         server = self.server
-        order = st.report_order
-        items = st.wave_items  # one shared list per shard per wave
-        while st.report_ptr < len(order):
-            r = order[st.report_ptr]
-            if st.report_at[r] > now:
-                break
-            accepted = server.post_update(st.reporter_uuids[r], items, now)
-            st.pending[r] = 0
-            self.metrics.reports_absorbed += accepted
-            if self._first_report_at is None:
-                self._first_report_at = now
-            self._last_report_at = now
-            st.report_ptr += 1
-        if st.report_ptr == len(order) and st.target_version is None:
-            # Last reporter posted: the shard version now is what the
-            # population must reach to be considered converged.
+        metrics = self.metrics
+        by_plane = metrics.reports_by_plane
+        all_done = True
+        for group in st.groups:
+            order = group.report_order
+            shared = group.items  # one shared list per shard per wave
+            items_by_r = group.items_by_r
+            pending = group.pending
+            while group.report_ptr < len(order):
+                r = order[group.report_ptr]
+                if group.report_at[r] > now:
+                    break
+                items = shared if items_by_r is None else items_by_r[r]
+                if items or items_by_r is None:
+                    accepted = server.post_update(group.uuids[r], items, now)
+                    metrics.reports_absorbed += accepted
+                    by_plane[group.name] = (
+                        by_plane.get(group.name, 0) + accepted
+                    )
+                    if self._first_report_at is None:
+                        self._first_report_at = now
+                    self._last_report_at = now
+                # else: a per-reporter plane whose vantage observed
+                # nothing (e.g. every blockpage misclassified) — no
+                # server call, no report-window update.
+                pending[r] = 0
+                group.report_ptr += 1
+            if group.report_ptr == len(order):
+                if group.target_version is None:
+                    # This plane's last reporter posted: the shard
+                    # version now is the plane's own convergence target.
+                    group.target_version = server.version_for_as(st.asn)
+            else:
+                all_done = False
+        if all_done and st.target_version is None:
+            # Last reporter of the last plane posted: the shard version
+            # now is what the population must reach to be considered
+            # converged (the overall target; per-plane targets above).
             st.target_version = server.version_for_as(st.asn)
 
     def _service_pulls_spec(self, st: CohortAs, now: float) -> None:
@@ -419,6 +658,14 @@ class ClientCohort:
                 st.unconverged -= 1
                 if st.unconverged == 0 and st.wave_started_at is not None:
                     st.converged_at = now
+            for group in st.groups:
+                gt = group.target_version
+                if (
+                    gt is not None
+                    and group.unconverged
+                    and since < gt <= batch.version
+                ):
+                    group.unconverged -= 1
 
     def _service_pulls_grouped(self, st: CohortAs, now: float) -> None:
         """Group-applied sweep: the spec above in O(distinct versions).
@@ -517,17 +764,43 @@ class ClientCohort:
                     st.unconverged -= count
                     if st.unconverged == 0 and st.wave_started_at is not None:
                         st.converged_at = now
+                for group in st.groups:
+                    gt = group.target_version
+                    if (
+                        gt is not None
+                        and group.unconverged
+                        and since < gt <= version
+                    ):
+                        group.unconverged -= count
                 lo = hi
         st.pulls += served
         metrics.pulls_served += served
         st.pull_ptr = ptr + served
 
     def service(self, now: float) -> None:
-        """One sweep over every AS: due reports, then due pulls."""
+        """One sweep over every AS: due reports, then due pulls, then
+        end-of-tick per-plane convergence bookkeeping (tick-granular, so
+        it cannot differ between sweep modes)."""
         for st in self.shards:
-            if st.report_ptr < len(st.report_order):
-                self._post_due_reports(st, now)
+            groups = st.groups
+            if groups:
+                for group in groups:
+                    if group.report_ptr < len(group.report_order):
+                        self._post_due_reports(st, now)
+                        break
             self._service_pulls(st, now)
+            if groups:
+                n = st.n
+                for group in groups:
+                    converged = n - group.unconverged
+                    if converged != group.last_converged:
+                        group.curve.append((now, converged))
+                        group.last_converged = converged
+                        if (
+                            group.unconverged == 0
+                            and group.converged_at is None
+                        ):
+                            group.converged_at = now
 
     # -- engine driver ---------------------------------------------------------
 
@@ -549,7 +822,29 @@ class ClientCohort:
                 )
             else:
                 metrics.convergence_by_as[st.asn] = -1.0  # did not converge
-            metrics.pending_by_as[st.asn] = sum(st.pending)
+            metrics.pending_by_as[st.asn] = sum(
+                sum(group.pending) for group in st.groups
+            )
+            started = st.wave_started_at
+            if started is None:
+                continue
+            for group in st.groups:
+                by_as = metrics.convergence_by_plane.setdefault(
+                    group.name, {}
+                )
+                by_as[st.asn] = (
+                    group.converged_at - started
+                    if group.converged_at is not None
+                    else -1.0
+                )
+                if group.curve:
+                    events = metrics.curve_by_plane.setdefault(
+                        group.name, []
+                    )
+                    prev = 0
+                    for at, converged in group.curve:
+                        events.append((at - started, converged - prev))
+                        prev = converged
         metrics.server_entries = self.server.entry_count
         return metrics
 
@@ -568,15 +863,24 @@ def run_fleet_storm(
     horizon: Optional[float] = None,
     asn_base: int = 40000,
     sweep_mode: str = "grouped",
+    planes: Optional[Sequence] = None,
+    wave_stagger: float = 0.0,
+    server: Optional[ServerDB] = None,
 ) -> FleetMetrics:
     """One fleet storm: steady pulls, a blocking wave, convergence.
 
-    Builds a :class:`ServerDB`, a cohort of ``n_ases * clients_per_as``
-    clients, starts a blocking wave at ``wave_at``, and runs the engine
-    until every AS had time to converge (``horizon`` defaults to the
-    wave plus two pull intervals).  Returns :class:`FleetMetrics`.
+    Builds a :class:`ServerDB` (or drives a caller-supplied one, so the
+    analysis layer can inspect post-storm voting state), a cohort of
+    ``n_ases * clients_per_as`` clients, starts a blocking wave at
+    ``wave_at`` (rolled over ``wave_stagger`` seconds when nonzero),
+    and runs the engine until every AS had time to converge
+    (``horizon`` defaults to the wave plus two pull intervals).
+    ``planes`` is the measurement-plane mix — plane instances or spec
+    mappings; None is the single C-Saw plane at ``reporter_fraction``.
+    Returns :class:`FleetMetrics`.
     """
-    server = ServerDB(entry_ttl=None)
+    if server is None:
+        server = ServerDB(entry_ttl=None)
     env = Environment()
     cohort = ClientCohort(
         server,
@@ -586,17 +890,20 @@ def run_fleet_storm(
         reporter_fraction=reporter_fraction,
         pull_interval=pull_interval,
         sweep_mode=sweep_mode,
+        planes=planes,
     )
 
     def driver():
         yield env.timeout(wave_at)
-        cohort.start_wave(env.now, urls_per_as=urls_per_as)
+        cohort.start_wave(
+            env.now, urls_per_as=urls_per_as, stagger=wave_stagger
+        )
 
     env.process(driver())
     stop_at = (
         horizon
         if horizon is not None
-        else wave_at + 2.0 * pull_interval + cohort.tick
+        else wave_at + 2.0 * pull_interval + wave_stagger + cohort.tick
     )
     env.process(cohort.run(env, stop_at))
     env.run()

@@ -31,7 +31,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..urlkit import normalize_url
 from .records import BlockType, decode_stages, encode_stages
-from .voting import VoteStats, VotingLedger
+from .voting import DEFAULT_PLANE, VoteStats, VotingLedger
 
 __all__ = [
     "ReportItem",
@@ -56,12 +56,18 @@ class RegistrationError(Exception):
 
 @dataclass(frozen=True)
 class ReportItem:
-    """One blocked-URL measurement as uploaded by a client."""
+    """One blocked-URL measurement as uploaded by a client.
+
+    ``plane`` is the measurement plane the report came through (see
+    :mod:`repro.planes`): the provenance tag the server threads into
+    per-plane vote statistics and entry bookkeeping.
+    """
 
     url: str
     asn: int
     stages: Tuple[BlockType, ...]
     measured_at: float  # T_m
+    plane: str = DEFAULT_PLANE
 
 
 @dataclass
@@ -75,6 +81,10 @@ class GlobalEntry:
     posted_at: float  # T_p
     last_uuid: str  # reporter of the freshest update
     first_measured_at: float = 0.0  # when the blocking was first observed
+    # Plane of the freshest report.  Excluded from equality so columnar
+    # batches (which do not carry the tag on the wire) decode to entries
+    # equal to the row-path spec's.
+    last_plane: str = field(default=DEFAULT_PLANE, compare=False)
 
     @property
     def key(self) -> Tuple[str, int]:
@@ -207,7 +217,9 @@ class _AsShard:
         # mutation funnels through mark_changed, which clears it.  A
         # fleet sweeping thousands of clients between server changes
         # pays batch construction once per distinct since-version.
-        self.batch_cache: Dict[Tuple[Optional[int], int, float], "SyncBatch"] = {}
+        # Key: (since_version, min_reporters, min_votes) plus sorted
+        # plane-weight items when the pull supplied a weighted criterion.
+        self.batch_cache: Dict[Tuple, "SyncBatch"] = {}
 
     def mark_changed(self, url: str) -> None:
         self.version += 1
@@ -241,6 +253,11 @@ class ServerDB:
         self.rejected_registrations = 0
         self.full_syncs_served = 0
         self.delta_syncs_served = 0
+        # Measurement-plane provenance (DESIGN.md §13): identities and
+        # accepted updates per plane.  Single-plane operation keeps one
+        # bucket, DEFAULT_PLANE.
+        self.clients_by_plane: Dict[str, int] = {}
+        self.reports_by_plane: Dict[str, int] = {}
 
     def _shard(self, asn: int) -> _AsShard:
         shard = self._shards.get(asn)
@@ -250,14 +267,32 @@ class ServerDB:
 
     # -- registration ---------------------------------------------------------
 
-    def register(self, now: float, captcha_passed: bool = True) -> str:
-        """Assign a UUID: a cryptographic hash of the current server time."""
-        if not captcha_passed:
+    def register(
+        self,
+        now: float,
+        captcha_passed: bool = True,
+        plane: str = DEFAULT_PLANE,
+        captcha_gated: bool = True,
+    ) -> str:
+        """Assign a UUID: a cryptographic hash of the current server time.
+
+        ``plane`` records which measurement plane the identity reports
+        through; non-default planes flip the voting ledger into per-plane
+        tracking.  ``captcha_gated=False`` models planes whose reporters
+        are unwitting page visitors (Encore) — no CAPTCHA challenge is
+        issued, so ``captcha_passed`` is not consulted and mass identity
+        creation is *not* rate-limited (exactly the sybil exposure the
+        per-plane vote weighting is there to bound).
+        """
+        if captcha_gated and not captcha_passed:
             self.rejected_registrations += 1
             raise RegistrationError("CAPTCHA failed")
         token = f"{now:.9f}/{next(self._uuid_counter)}"
         uuid = hashlib.sha256(token.encode()).hexdigest()[:32]
         self._clients[uuid] = now
+        self.clients_by_plane[plane] = self.clients_by_plane.get(plane, 0) + 1
+        if plane != DEFAULT_PLANE:
+            self.voting.set_client_plane(uuid, plane)
         return uuid
 
     def is_registered(self, uuid: str) -> bool:
@@ -281,6 +316,7 @@ class ServerDB:
         accepted = 0
         keys: List[Tuple[str, int]] = []
         shards_touched: Dict[int, _AsShard] = {}
+        by_plane = self.reports_by_plane
         for item in reports:
             url = normalize_url(item.url)
             keys.append((url, item.asn))
@@ -296,12 +332,14 @@ class ServerDB:
                     posted_at=now,
                     last_uuid=uuid,
                     first_measured_at=item.measured_at,
+                    last_plane=item.plane,
                 )
                 shard.entries[url] = entry
             else:
                 entry.posted_at = now
                 entry.measured_at = max(entry.measured_at, item.measured_at)
                 entry.last_uuid = uuid
+                entry.last_plane = item.plane
                 for stage in item.stages:
                     if stage not in entry.stages:
                         entry.stages.append(stage)
@@ -310,6 +348,7 @@ class ServerDB:
                 heapq.heappush(shard.expiry, (now, url))
             accepted += 1
             self.update_count += 1
+            by_plane[item.plane] = by_plane.get(item.plane, 0) + 1
         if accepted:
             affected = self.voting.add_client_reports(uuid, keys)
             self._mark_vote_changes(affected.difference(keys))
@@ -382,30 +421,47 @@ class ServerDB:
 
     # -- queries ------------------------------------------------------------------
 
+    def _stats_fn(self, plane_weights: Optional[Dict[str, float]]):
+        """The (url, asn) -> VoteStats the confidence criterion reads:
+        plain aggregate stats, or fidelity-weighted per-plane sums when
+        the consumer supplied ``plane_weights`` (DESIGN.md §13)."""
+        if plane_weights is None:
+            return self.voting.stats
+        weighted = self.voting.weighted_stats
+
+        def stats(url: str, asn: int) -> VoteStats:
+            return weighted(url, asn, plane_weights)
+
+        return stats
+
     def blocked_for_as(
         self,
         asn: int,
         now: float,
         min_reporters: int = 1,
         min_votes: float = 0.0,
+        plane_weights: Optional[Dict[str, float]] = None,
     ) -> List[GlobalEntry]:
         """The blocked list a client on ``asn`` downloads.
 
         Entries failing the confidence criterion — too few reporters or
         too little vote mass — are withheld, bounding what false
-        reporters can inject.  Only this AS's shard is touched; with the
-        default (accept-all) criterion the pull is a straight copy of the
-        shard, since every stored entry has at least one reporter by
-        construction (posts add a vouch atomically, dissent/revocation
-        drop orphaned entries).
+        reporters can inject.  ``plane_weights`` switches the criterion
+        to fidelity-weighted per-plane statistics (a coarse plane's
+        reporters count at their weight); ``None`` is the unweighted
+        single-plane criterion, untouched.  Only this AS's shard is
+        touched; with the default (accept-all) criterion the pull is a
+        straight copy of the shard, since every stored entry has at
+        least one reporter by construction (posts add a vouch
+        atomically, dissent/revocation drop orphaned entries).
         """
         shard = self._shards.get(asn)
         if shard is None:
             return []
         self._evict_expired(shard, now)
-        if min_reporters <= 1 and min_votes <= 0.0:
+        if plane_weights is None and min_reporters <= 1 and min_votes <= 0.0:
             return list(shard.entries.values())
-        stats = self.voting.stats
+        stats = self._stats_fn(plane_weights)
         return [
             entry
             for entry in shard.entries.values()
@@ -419,6 +475,7 @@ class ServerDB:
         since_version: Optional[int] = None,
         min_reporters: int = 1,
         min_votes: float = 0.0,
+        plane_weights: Optional[Dict[str, float]] = None,
     ) -> SyncResult:
         """Serve one client pull, incrementally when possible.
 
@@ -426,8 +483,9 @@ class ServerDB:
         log floor (log truncated), or a version from the future (stale
         client state, e.g. a server restart) all fall back to a full
         snapshot.  Otherwise only entries touched after ``since_version``
-        travel: re-evaluated against the confidence criterion, they land
-        in ``entries`` (still listed) or ``removed`` (evicted, dissented
+        travel: re-evaluated against the confidence criterion (weighted
+        per plane when ``plane_weights`` is given), they land in
+        ``entries`` (still listed) or ``removed`` (evicted, dissented
         away, or no longer passing the criterion).
         """
         shard = self._shards.get(asn)
@@ -447,7 +505,11 @@ class ServerDB:
                 version=shard.version,
                 full=True,
                 entries=self.blocked_for_as(
-                    asn, now, min_reporters=min_reporters, min_votes=min_votes
+                    asn,
+                    now,
+                    min_reporters=min_reporters,
+                    min_votes=min_votes,
+                    plane_weights=plane_weights,
                 ),
             )
         self.delta_syncs_served += 1
@@ -455,7 +517,7 @@ class ServerDB:
             return SyncResult(asn=asn, version=shard.version, full=False)
         changed: List[GlobalEntry] = []
         removed: List[str] = []
-        stats = self.voting.stats
+        stats = self._stats_fn(plane_weights)
         for url in shard.touched_since(since_version):
             entry = shard.entries.get(url)
             if entry is not None and stats(url, asn).passes(
@@ -479,6 +541,7 @@ class ServerDB:
         since_version: Optional[int] = None,
         min_reporters: int = 1,
         min_votes: float = 0.0,
+        plane_weights: Optional[Dict[str, float]] = None,
     ) -> SyncBatch:
         """:meth:`sync_for_as` in the columnar wire format.
 
@@ -489,9 +552,11 @@ class ServerDB:
         paths yield bit-identical client state.
 
         Built batches are cached on the shard keyed by ``(since,
-        criterion)`` and invalidated by any shard change, so serving a
-        whole cohort between changes constructs each distinct batch
-        once (the serve counters still count every pull).
+        criterion)`` — the criterion including the sorted plane-weight
+        items when a weighted pull asked for them — and invalidated by
+        any shard change, so serving a whole cohort between changes
+        constructs each distinct batch once (the serve counters still
+        count every pull).
         """
         shard = self._shards.get(asn)
         if shard is None:
@@ -505,16 +570,27 @@ class ServerDB:
         )
         if stale:
             self.full_syncs_served += 1
-            key = (None, min_reporters, min_votes)
+            since_key: Optional[int] = None
         else:
             self.delta_syncs_served += 1
             if since_version == shard.version:
                 return SyncBatch(asn=asn, version=shard.version, full=False)
-            key = (since_version, min_reporters, min_votes)
+            since_key = since_version
+        if plane_weights is None:
+            key: Tuple = (since_key, min_reporters, min_votes)
+        else:
+            key = (
+                since_key,
+                min_reporters,
+                min_votes,
+                tuple(sorted(plane_weights.items())),
+            )
         cache = shard.batch_cache
         batch = cache.get(key)
         if batch is None:
-            batch = self._build_batch(shard, asn, *key)
+            batch = self._build_batch(
+                shard, asn, since_key, min_reporters, min_votes, plane_weights
+            )
             if len(cache) >= 128:  # bound stragglers between changes
                 cache.clear()
             cache[key] = batch
@@ -527,6 +603,7 @@ class ServerDB:
         since_version: Optional[int],
         min_reporters: int,
         min_votes: float,
+        plane_weights: Optional[Dict[str, float]] = None,
     ) -> SyncBatch:
         """Construct one columnar batch (cache-miss path).
 
@@ -535,8 +612,10 @@ class ServerDB:
         Columns are built by per-field passes over the selected rows —
         C-speed comprehensions instead of six appends per row.
         """
-        stats = self.voting.stats
-        check_votes = min_reporters > 1 or min_votes > 0.0
+        stats = self._stats_fn(plane_weights)
+        check_votes = (
+            min_reporters > 1 or min_votes > 0.0 or plane_weights is not None
+        )
         entries = shard.entries
         removed: List[str] = []
         if since_version is None:
@@ -582,6 +661,10 @@ class ServerDB:
 
     def stats_for(self, url: str, asn: int) -> VoteStats:
         return self.voting.stats(normalize_url(url), asn)
+
+    def plane_stats_for(self, url: str, asn: int) -> Dict[str, VoteStats]:
+        """Per-plane provenance breakdown of one entry's vote statistics."""
+        return self.voting.plane_stats(normalize_url(url), asn)
 
     def entry(self, url: str, asn: int) -> Optional[GlobalEntry]:
         shard = self._shards.get(asn)

@@ -136,6 +136,23 @@ class CompiledScenario:
 class ScenarioCompiler:
     """Turns a :class:`ScenarioSpec` into a :class:`CompiledScenario`."""
 
+    @staticmethod
+    def compile_planes(spec: ScenarioSpec) -> Optional[list]:
+        """Build the spec's ``[[planes]]`` mix into live plane objects.
+
+        Cohort mode bypasses :meth:`compile` (no ``World`` is built), but
+        the compiler stays the only layer that turns spec sections into
+        live simulation objects — the runner calls this instead of
+        touching the plane registry itself.  Returns ``None`` when no
+        mix is declared, which lets :class:`~repro.core.fleet.ClientCohort`
+        fall back to its single default C-Saw plane.
+        """
+        if not spec.planes:
+            return None
+        from ..planes import build_plane
+
+        return [build_plane(plane.as_dict()) for plane in spec.planes]
+
     def compile(self, spec: ScenarioSpec) -> CompiledScenario:
         spec.validate()
         world = World(seed=spec.seed)

@@ -224,6 +224,58 @@ def evaluate(spec: ScenarioSpec, outcome) -> ExpectationReport:
                     )
                 )
 
+    for want_plane in expect.planes:
+        metrics = outcome.fleet
+        name = want_plane.name
+        if metrics is None:
+            report.checks.append(
+                ExpectationCheck(
+                    "plane", name, "fleet metrics", "no fleet run", False
+                )
+            )
+            continue
+        reports = metrics.reports_by_plane.get(name, 0)
+        if want_plane.min_reports:
+            report.checks.append(
+                ExpectationCheck(
+                    "plane",
+                    f"{name} reports",
+                    f">= {want_plane.min_reports}",
+                    str(reports),
+                    reports >= want_plane.min_reports,
+                )
+            )
+        if want_plane.max_reports:
+            report.checks.append(
+                ExpectationCheck(
+                    "plane",
+                    f"{name} reports",
+                    f"<= {want_plane.max_reports}",
+                    str(reports),
+                    reports <= want_plane.max_reports,
+                )
+            )
+        if want_plane.all_converge:
+            convergences = metrics.convergence_by_plane.get(name, {})
+            unconverged = sorted(
+                asn for asn, value in convergences.items() if value < 0
+            )
+            report.checks.append(
+                ExpectationCheck(
+                    "plane",
+                    f"{name} converges everywhere",
+                    f"all {len(convergences)} ASes converge on this plane",
+                    "all converged"
+                    if convergences and not unconverged
+                    else (
+                        f"unconverged ASes: {unconverged}"
+                        if convergences
+                        else "plane ran in no AS"
+                    ),
+                    bool(convergences) and not unconverged,
+                )
+            )
+
     if expect.reputation is not None:
         rep = outcome.reputation
         want_rep = expect.reputation

@@ -260,8 +260,13 @@ class ScenarioRunner:
             wave_at=cohort.wave_at,
             horizon=cohort.horizon if cohort.horizon > 0 else None,
             asn_base=cohort.asn_base,
+            planes=ScenarioCompiler.compile_planes(spec),
+            wave_stagger=cohort.wave_stagger,
         )
         if cohort.sharded:
+            # Exact under sharding: plane sampling / wave stagger derive
+            # from (seed, AS identity) and FleetMetrics.merge folds the
+            # per-plane counters and curves across disjoint AS slices.
             metrics = run_fleet_storm_sharded(workers=self.workers, **kwargs)
         else:
             metrics = run_fleet_storm(**kwargs)

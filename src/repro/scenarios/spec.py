@@ -442,6 +442,7 @@ class CohortSpec:
     urls_per_as: int = 10
     pull_interval: float = 600.0
     wave_at: float = 300.0
+    wave_stagger: float = 0.0  # roll the wave's per-AS onsets over this span
     horizon: float = 0.0  # 0 -> the fleet layer's default
     asn_base: int = 40000
     sharded: bool = False
@@ -458,12 +459,86 @@ class CohortSpec:
             urls_per_as=int(pop("urls_per_as", cls.urls_per_as)),
             pull_interval=_as_float(pop("pull_interval", cls.pull_interval), where),
             wave_at=_as_float(pop("wave_at", cls.wave_at), where),
+            wave_stagger=_as_float(pop("wave_stagger", 0.0), where),
             horizon=_as_float(pop("horizon", 0.0), where),
             asn_base=int(pop("asn_base", cls.asn_base)),
             sharded=_as_bool(pop("sharded", False), where),
         )
         done()
+        if spec.wave_stagger < 0.0:
+            raise SpecError(f"{where}.wave_stagger: must be >= 0")
         return spec
+
+
+@dataclass(frozen=True)
+class PlaneSpec:
+    """One measurement plane in a cohort's mix (``[[planes]]``).
+
+    ``kind`` picks the implementation from the :mod:`repro.planes`
+    registry; ``fraction`` sizes the plane's reporter subpopulation;
+    ``weight`` is the plane's vote weight in the per-plane-aware
+    confidence criterion (1.0 = full trust).  The remaining knobs only
+    apply to the kinds that read them: ``miss_rate`` (encore blockpage
+    misclassification), ``probe_interval``/``coverage``/``list_size``/
+    ``corpus_sites`` (problist scheduling and list-generation recall).
+    """
+
+    name: str
+    kind: str
+    fraction: float
+    weight: float = 1.0
+    miss_rate: float = 0.2
+    probe_interval: float = 600.0
+    coverage: float = 0.7
+    list_size: int = 50
+    corpus_sites: int = 120
+
+    KINDS = ("csaw", "encore", "problist")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], where: str) -> "PlaneSpec":
+        pop, done = _take(data, where)
+        kind = pop("kind")
+        if kind not in cls.KINDS:
+            raise SpecError(
+                f"{where}.kind: {kind!r} not in {'|'.join(cls.KINDS)}"
+            )
+        spec = cls(
+            name=str(pop("name", kind)),
+            kind=str(kind),
+            fraction=_as_float(pop("fraction", 0.01), where),
+            weight=_as_float(pop("weight", 1.0), where),
+            miss_rate=_as_float(pop("miss_rate", cls.miss_rate), where),
+            probe_interval=_as_float(
+                pop("probe_interval", cls.probe_interval), where
+            ),
+            coverage=_as_float(pop("coverage", cls.coverage), where),
+            list_size=int(pop("list_size", cls.list_size)),
+            corpus_sites=int(pop("corpus_sites", cls.corpus_sites)),
+        )
+        done()
+        if not 0.0 < spec.fraction <= 1.0:
+            raise SpecError(f"{where}.fraction: must be in (0, 1]")
+        if not 0.0 <= spec.weight <= 1.0:
+            raise SpecError(f"{where}.weight: must be in [0, 1]")
+        if not 0.0 <= spec.miss_rate < 1.0:
+            raise SpecError(f"{where}.miss_rate: must be in [0, 1)")
+        if not 0.0 < spec.coverage <= 1.0:
+            raise SpecError(f"{where}.coverage: must be in (0, 1]")
+        return spec
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The mapping the planes registry's ``build_plane`` consumes."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "fraction": self.fraction,
+            "miss_rate": self.miss_rate,
+            "probe_interval": self.probe_interval,
+            "coverage": self.coverage,
+            "list_size": self.list_size,
+            "corpus_sites": self.corpus_sites,
+        }
 
 
 @dataclass(frozen=True)
@@ -674,6 +749,32 @@ class FleetExpect:
 
 
 @dataclass(frozen=True)
+class PlaneExpect:
+    """Per-plane report provenance and convergence checks for one plane
+    of a cohort storm (``[[expect.plane]]``)."""
+
+    name: str
+    min_reports: int = 1
+    max_reports: int = 0  # 0 -> unchecked
+    all_converge: bool = False
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], where: str) -> "PlaneExpect":
+        pop, done = _take(data, where)
+        name = pop("name")
+        if not name:
+            raise SpecError(f"{where}: 'name' is required")
+        spec = cls(
+            name=str(name),
+            min_reports=int(pop("min_reports", 1)),
+            max_reports=int(pop("max_reports", 0)),
+            all_converge=_as_bool(pop("all_converge", False), where),
+        )
+        done()
+        return spec
+
+
+@dataclass(frozen=True)
 class ReputationExpect:
     flagged_groups: Tuple[str, ...] = ()
     clean_groups: Tuple[str, ...] = ()
@@ -703,6 +804,7 @@ class ExpectSpec:
     min_observations: int = 0
     fleet: Optional[FleetExpect] = None
     reputation: Optional[ReputationExpect] = None
+    planes: Tuple[PlaneExpect, ...] = ()
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any], where: str) -> "ExpectSpec":
@@ -733,6 +835,12 @@ class ExpectSpec:
                 if reputation
                 else None
             ),
+            planes=tuple(
+                PlaneExpect.from_dict(p, f"{where}.plane[{i}]")
+                for i, p in enumerate(
+                    _sections(pop("plane"), f"{where}.plane")
+                )
+            ),
         )
         done()
         return spec
@@ -746,6 +854,7 @@ class ExpectSpec:
             or self.min_observations
             or self.fleet
             or self.reputation
+            or self.planes
         )
 
 
@@ -769,6 +878,7 @@ class ScenarioSpec:
     events: Tuple[EventSpec, ...] = ()
     rolling: Optional[RollingSpec] = None
     cohort: Optional[CohortSpec] = None
+    planes: Tuple[PlaneSpec, ...] = ()  # empty -> single default C-Saw plane
     attack: Optional[AttackSpec] = None
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
     expect: ExpectSpec = field(default_factory=ExpectSpec)
@@ -828,6 +938,10 @@ class ScenarioSpec:
             ),
             rolling=RollingSpec.from_dict(rolling, "rolling") if rolling else None,
             cohort=CohortSpec.from_dict(cohort, "cohort") if cohort else None,
+            planes=tuple(
+                PlaneSpec.from_dict(p, f"planes[{i}]")
+                for i, p in enumerate(_sections(pop("planes"), "planes"))
+            ),
             attack=AttackSpec.from_dict(attack, "attack") if attack else None,
             execution=(
                 ExecutionSpec.from_dict(execution, "execution")
@@ -916,6 +1030,36 @@ class ScenarioSpec:
             raise SpecError("expect.fleet: requires cohort mode")
         if self.expect.reputation is not None and mode != "attack":
             raise SpecError("expect.reputation: requires attack mode")
+        if self.planes and mode != "cohort":
+            raise SpecError("planes: a [[planes]] mix requires cohort mode")
+        if self.expect.planes and mode != "cohort":
+            raise SpecError("expect.plane: requires cohort mode")
+        if self.planes:
+            plane_names = [p.name for p in self.planes]
+            if len(set(plane_names)) != len(plane_names):
+                raise SpecError(f"planes: duplicate plane names {plane_names}")
+            # The registry is the source of truth for what can actually
+            # be built — catch kind drift at validation time, not run
+            # time (lazy import: spec parsing must not pull the planes
+            # package unless a mix is declared).
+            from ..planes import PLANE_KINDS
+
+            for i, plane in enumerate(self.planes):
+                if plane.kind not in PLANE_KINDS:
+                    raise SpecError(
+                        f"planes[{i}]: kind {plane.kind!r} not in registry "
+                        f"({sorted(PLANE_KINDS)})"
+                    )
+        if self.expect.planes:
+            declared = (
+                {p.name for p in self.planes} if self.planes else {"csaw"}
+            )
+            for i, expect in enumerate(self.expect.planes):
+                if expect.name not in declared:
+                    raise SpecError(
+                        f"expect.plane[{i}]: unknown plane {expect.name!r} "
+                        f"(declared: {sorted(declared)})"
+                    )
         if mode == "cohort" and self.cohort is None:
             raise SpecError("execution.mode = 'cohort' needs a [cohort] section")
         if mode == "attack" and self.attack is None:

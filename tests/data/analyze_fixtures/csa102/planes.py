@@ -1,0 +1,28 @@
+"""CSA102 over the ``planes/*`` RNG streams.
+
+Mirrors ``core/fleet.py``'s per-plane reporter groups: each plane in
+each AS seeds its own ``random.Random`` from the trial identity via
+``derive_seed(seed, "fleet-plane", name, asn)`` — the sanctioned shape
+even in worker-reachable code — while a constant-seeded plane group
+replays the identical reporter sample in every trial.
+"""
+
+import random
+
+
+def plane_group(seed, name, asn):
+    rng = random.Random(derive_seed(seed, "fleet-plane", name, asn))
+    return rng.random()
+
+
+def stale_plane_group(name):
+    rng = random.Random(52011)
+    return rng.random()
+
+
+def storm(t):
+    return plane_group(7, "encore", 65200) + stale_plane_group("encore")
+
+
+def launch():
+    return TrialSpec("storm", storm)

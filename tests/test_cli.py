@@ -124,3 +124,43 @@ status = "blocked"
         packs = {entry["pack"] for entry in data["packs"]}
         assert packs == {name for name, _ in shipped_packs()}
         assert all(entry["seconds"] >= 0 for entry in data["packs"])
+
+    def test_run_all_record_exits_nonzero_on_failing_pack(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """--record must not mask a failing pack: a non-empty expectation
+        diff exits 1, and the record file still lands with ok=false."""
+        import json
+
+        import repro.scenarios as scenarios
+
+        bad = tmp_path / "wrong_pack.toml"
+        bad.write_text(
+            """
+name = "wrong-pack"
+description = "deliberately wrong expectation"
+
+[[sites]]
+hostname = "open.example.com"
+
+[[ases]]
+asn = 64900
+
+[[expect.verdict]]
+url = "http://open.example.com/"
+asn = 64900
+status = "blocked"
+"""
+        )
+        monkeypatch.setattr(
+            scenarios, "shipped_packs",
+            lambda: [("wrong-pack", str(bad))],
+        )
+        record = tmp_path / "times.json"
+        assert main(["scenario", "run-all", "--record", str(record)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "wrong-pack:" in out  # the diff is printed per failing pack
+        data = json.loads(record.read_text())
+        assert data["packs"][0]["ok"] is False
+        assert data["packs"][0]["failures"] >= 1

@@ -302,6 +302,16 @@ class TestCSA102:
         files = by_file(run_fixture("csa102"))
         assert "clean.py" not in files
 
+    def test_plane_group_seeding_audited(self):
+        """The fleet plane-group shape: ``random.Random(derive_seed(...))``
+        is sanctioned in worker code, a constant-seeded plane group is
+        the hazard."""
+        files = by_file(run_fixture("csa102"))
+        planes = [v for v in files.get("planes.py", []) if v.code == "CSA102"]
+        assert len(planes) == 1
+        assert "stale_plane_group" in planes[0].message
+        assert "derive_seed" in planes[0].message
+
 
 class TestCSA103:
     def test_escape_through_helper_layers_flagged(self):
